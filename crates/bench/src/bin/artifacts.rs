@@ -1,0 +1,60 @@
+//! Emits the paper flow's file artifacts for one benchmark: `tech.lef`,
+//! `design.def` (input), `design.crp.def` (after CR&P), `design.guide`
+//! (route guides for the detailed router), and `congestion.csv` before and
+//! after CR&P.
+//!
+//! ```text
+//! cargo run -p crp-bench --bin artifacts --release [-- <profile 1-10> [out_dir]]
+//! ```
+
+use crp_core::{Crp, CrpConfig};
+use crp_grid::{GridConfig, RouteGrid};
+use crp_lefdef::{write_def, write_guides, write_lef};
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let index: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .map(|i: usize| i.clamp(1, 10) - 1)
+        .unwrap_or(4);
+    let out: PathBuf =
+        args.next().map_or_else(|| PathBuf::from("results/artifacts"), PathBuf::from);
+    fs::create_dir_all(&out)?;
+
+    let scale = crp_bench::default_scale();
+    let mut design = ispd18_profiles()[index].scaled(scale).generate();
+    println!("emitting artifacts for {} into {}", design.name, out.display());
+
+    fs::write(out.join("tech.lef"), write_lef(&design))?;
+    fs::write(out.join("design.def"), write_def(&design))?;
+
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let mut routing = router.route_all(&design, &mut grid);
+    fs::write(out.join("congestion.before.csv"), grid.congestion_csv())?;
+
+    let mut crp = Crp::new(CrpConfig::default());
+    crp.run(10, &mut design, &mut grid, &mut router, &mut routing);
+
+    fs::write(out.join("design.crp.def"), write_def(&design))?;
+    fs::write(out.join("design.guide"), write_guides(&design, &grid, &routing))?;
+    fs::write(out.join("congestion.after.csv"), grid.congestion_csv())?;
+
+    for f in [
+        "tech.lef",
+        "design.def",
+        "design.crp.def",
+        "design.guide",
+        "congestion.before.csv",
+        "congestion.after.csv",
+    ] {
+        let len = fs::metadata(out.join(f))?.len();
+        println!("  {f:<24} {len:>10} B");
+    }
+    Ok(())
+}

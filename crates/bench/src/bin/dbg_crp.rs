@@ -1,0 +1,38 @@
+//! Diagnostic: per-iteration CR&P telemetry (wirelength, vias, Eq. 1 cost,
+//! overflow) on one profile — handy when tuning cost-model knobs.
+//!
+//! ```text
+//! cargo run -p crp-bench --bin dbg_crp --release
+//! ```
+
+use crp_core::{Crp, CrpConfig};
+use crp_grid::{GridConfig, RouteGrid};
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+
+fn main() {
+    let mut design = ispd18_profiles()[6].scaled(800.0).generate();
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let mut routing = router.route_all(&design, &mut grid);
+    println!(
+        "start: wl={} vias={} cost={:.1} overflow={:.1}",
+        routing.total_wirelength(),
+        routing.total_vias(),
+        routing.total_cost(&grid),
+        grid.congestion().total_overflow
+    );
+    let mut crp = Crp::new(CrpConfig::default());
+    for i in 0..3 {
+        let r = crp.run_iteration(i, &mut design, &mut grid, &mut router, &mut routing);
+        println!(
+            "iter {i}: moved={} rerouted={} wl={} vias={} cost={:.1} overflow={:.1}",
+            r.moved_cells,
+            r.rerouted_nets,
+            routing.total_wirelength(),
+            routing.total_vias(),
+            routing.total_cost(&grid),
+            grid.congestion().total_overflow
+        );
+    }
+}

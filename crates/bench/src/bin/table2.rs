@@ -1,0 +1,36 @@
+//! Regenerates Table II: benchmark statistics (cells, nets, plus the
+//! synthetic profiles' utilization and congestion knobs).
+//!
+//! ```text
+//! cargo run -p crp-bench --bin table2 --release
+//! ```
+
+use crp_bench::default_scale;
+use crp_netlist::DesignStats;
+use crp_workload::ispd18_profiles;
+
+fn main() {
+    let scale = default_scale();
+    println!("Table II reproduction (scale 1/{scale})");
+    println!(
+        "{:<15} {:>9} {:>9} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>10}",
+        "Circuit", "#nets", "#cells", "gen nets", "gen cells", "rows", "util", "HPWL", "hotspot%"
+    );
+    for profile in ispd18_profiles() {
+        let scaled = profile.scaled(scale);
+        let design = scaled.generate();
+        let stats = DesignStats::of(&design);
+        println!(
+            "{:<15} {:>9} {:>9} | {:>9} {:>9} {:>7} {:>7.3} {:>9} {:>9.0}%",
+            profile.name,
+            profile.nets,
+            profile.cells,
+            stats.nets,
+            stats.cells,
+            stats.rows,
+            stats.utilization,
+            stats.hpwl,
+            profile.hotspot_net_fraction * 100.0,
+        );
+    }
+}

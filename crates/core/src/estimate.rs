@@ -1,0 +1,324 @@
+//! Algorithm 3: candidate-cost estimation via 3D pattern routing.
+
+use crate::candidate::Candidate;
+use crate::config::CrpConfig;
+use crp_grid::{Edge, RouteGrid};
+use crp_netlist::{Design, NetId};
+use crp_router::{pattern_route_tree_discounted, PinNode, Routing};
+use std::collections::HashMap;
+
+/// Prices one candidate: every net incident to a moved cell is rebuilt as
+/// a Steiner topology at the hypothetical positions and 3D-pattern-routed;
+/// the candidate's cost is the summed route cost.
+///
+/// Each net is priced with its **own current usage discounted** from the
+/// grid demand (the net is conceptually ripped up before re-pricing), so
+/// the stay candidate and the move candidates see the same unbiased
+/// congestion picture — without the discount, a net's own demand inflates
+/// the price of staying put and the flow churns.
+///
+/// With `congestion_aware` (the CR&P cost model) each edge is priced by
+/// Eq. 10; without it (the \[18\]-style ablation) the price is the pure
+/// route *length* — the reference's cost model has no via or congestion
+/// term ("only modeled by the length and a number of detours").
+#[must_use]
+pub fn price_cell_nets(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    candidate: &Candidate,
+    congestion_aware: bool,
+) -> f64 {
+    // Nets touched by the joint move, deduplicated.
+    let mut nets: Vec<NetId> = Vec::new();
+    for cell in candidate.moved_cells() {
+        for n in design.nets_of_cell(cell) {
+            if !nets.contains(&n) {
+                nets.push(n);
+            }
+        }
+    }
+
+    // Staying keeps each net's existing committed route; moving triggers a
+    // rip-up and a fresh pattern reroute. Price each case as what the
+    // update step will actually do, or the comparison is biased.
+    let keeps_current_routes = candidate.is_stay(design);
+
+    let mut total = 0.0;
+    for net in nets {
+        let discount = self_usage_discount(grid, routing, net);
+
+        if keeps_current_routes {
+            let current = routing.route(net);
+            total += if congestion_aware {
+                current
+                    .edges()
+                    .iter()
+                    .map(|&e| match discount.get(&e) {
+                        Some(&delta) => grid.cost_adjusted(e, delta),
+                        None => grid.cost(e),
+                    })
+                    .sum::<f64>()
+            } else {
+                // Length-only pricing ([18]'s model: route length and
+                // detours; no via or congestion term).
+                current.wirelength() as f64
+            };
+            continue;
+        }
+
+        // Pin nodes at (possibly) overridden positions.
+        let mut pins: Vec<PinNode> = design
+            .net(net)
+            .pins
+            .iter()
+            .map(|&p| {
+                let pos = design.pin_position_overridden(p, |c| candidate.position_of(c));
+                let (x, y) = grid.gcell_of(pos);
+                let layer = u16::try_from(design.pin_layer(p)).expect("layer fits u16");
+                PinNode::new(x, y, layer)
+            })
+            .collect();
+        pins.sort_unstable();
+        pins.dedup();
+
+        let route = pattern_route_tree_discounted(grid, &pins, &discount);
+        total += if congestion_aware {
+            route
+                .edges()
+                .iter()
+                .map(|&e| match discount.get(&e) {
+                    Some(&delta) => grid.cost_adjusted(e, delta),
+                    None => grid.cost(e),
+                })
+                .sum::<f64>()
+        } else {
+            route.wirelength() as f64
+        };
+    }
+    total
+}
+
+/// Builds the demand-delta map that removes `net`'s own current route
+/// from the grid demand: −1 on every wire and via edge it occupies, plus
+/// the (nonlinear) via-estimate correction `β·δ_e` on planar edges whose
+/// endpoint gcells host the net's vias.
+#[must_use]
+pub fn self_usage_discount(
+    grid: &RouteGrid,
+    routing: &Routing,
+    net: NetId,
+) -> HashMap<Edge, f64> {
+    let route = routing.route(net);
+    let mut discount: HashMap<Edge, f64> = HashMap::new();
+    for e in route.edges() {
+        *discount.entry(e).or_insert(0.0) -= 1.0;
+    }
+
+    // Via endpoints this net contributes per (x, y, layer).
+    let mut own: HashMap<(u16, u16, u16), f64> = HashMap::new();
+    for v in &route.vias {
+        for l in v.lo..v.hi {
+            *own.entry((v.x, v.y, l)).or_insert(0.0) += 1.0;
+            *own.entry((v.x, v.y, l + 1)).or_insert(0.0) += 1.0;
+        }
+    }
+    if own.is_empty() {
+        return discount;
+    }
+    let beta = grid.config().beta;
+    // Planar edges incident to any gcell with own vias on that layer.
+    let mut affected: std::collections::HashSet<Edge> = std::collections::HashSet::new();
+    for &(x, y, l) in own.keys() {
+        if !grid.is_routable(l) {
+            continue;
+        }
+        match grid.axis(l) {
+            crp_geom::Axis::X => {
+                affected.insert(Edge::planar(l, x, y));
+                if x > 0 {
+                    affected.insert(Edge::planar(l, x - 1, y));
+                }
+            }
+            crp_geom::Axis::Y => {
+                affected.insert(Edge::planar(l, x, y));
+                if y > 0 {
+                    affected.insert(Edge::planar(l, x, y - 1));
+                }
+            }
+        }
+    }
+    for e in affected {
+        if !grid.edge_exists(e) {
+            continue;
+        }
+        let (a, b) = e.endpoints(|l| grid.axis(l));
+        let va = grid.via_count(a.layer, a.x, a.y);
+        let vb = grid.via_count(b.layer, b.x, b.y);
+        let va2 = (va - own.get(&(a.x, a.y, a.layer)).copied().unwrap_or(0.0)).max(0.0);
+        let vb2 = (vb - own.get(&(b.x, b.y, b.layer)).copied().unwrap_or(0.0)).max(0.0);
+        let delta = beta * (((va2 + vb2) / 2.0).sqrt() - ((va + vb) / 2.0).sqrt());
+        if delta != 0.0 {
+            *discount.entry(e).or_insert(0.0) += delta;
+        }
+    }
+    discount
+}
+
+/// Fills `routing_cost` on every candidate (line 11–13 of Algorithm 2,
+/// "run parallel"). `per_cell` holds the candidate list of each critical
+/// cell; lists are processed concurrently on
+/// [`CrpConfig::effective_threads`] workers. Non-stay candidates receive
+/// an additional [`CrpConfig::move_margin`] so that moves need a real
+/// improvement to win over staying.
+pub fn estimate_candidates(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    per_cell: &mut [Vec<Candidate>],
+    config: &CrpConfig,
+) {
+    let price_list = |cands: &mut Vec<Candidate>| {
+        for cand in cands.iter_mut() {
+            cand.routing_cost =
+                price_cell_nets(design, grid, routing, cand, config.congestion_aware);
+            if !cand.is_stay(design) {
+                cand.routing_cost += config.move_margin;
+            }
+        }
+    };
+    let threads = config.effective_threads().max(1);
+    if threads == 1 || per_cell.len() < 2 {
+        for cands in per_cell.iter_mut() {
+            price_list(cands);
+        }
+        return;
+    }
+    let chunk = per_cell.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for slice in per_cell.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for cands in slice.iter_mut() {
+                    price_list(cands);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_grid::GridConfig;
+    use crp_netlist::{CellId, DesignBuilder, MacroCell};
+    use crp_router::{GlobalRouter, RouterConfig};
+
+    fn flow() -> (Design, RouteGrid, Routing, Vec<CellId>) {
+        let mut b = DesignBuilder::new("est", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        b.add_rows(10, 120, Point::new(0, 0));
+        let u0 = b.add_cell("u0", m, Point::new(0, 0));
+        let u1 = b.add_cell("u1", m, Point::new(20_000, 16_000));
+        let n = b.add_net("n0");
+        b.connect(n, u0, "Y");
+        b.connect(n, u1, "A");
+        let d = b.build();
+        let mut grid = RouteGrid::new(&d, GridConfig::default());
+        let routing = GlobalRouter::new(RouterConfig::default()).route_all(&d, &mut grid);
+        (d, grid, routing, vec![u0, u1])
+    }
+
+    #[test]
+    fn moving_toward_partner_prices_cheaper() {
+        let (d, grid, routing, cells) = flow();
+        let stay = Candidate::stay(&d, cells[0]);
+        let mut toward = stay.clone();
+        toward.pos = Point::new(10_000, 8_000);
+        let p_stay = price_cell_nets(&d, &grid, &routing, &stay, true);
+        let p_toward = price_cell_nets(&d, &grid, &routing, &toward, true);
+        assert!(
+            p_toward < p_stay,
+            "moving closer must be cheaper: {p_toward} vs {p_stay}"
+        );
+    }
+
+    #[test]
+    fn stay_price_is_current_route_cost_without_self_demand() {
+        // The stay candidate keeps the current route, so its price must be
+        // that route's Eq. 10 cost evaluated as if the net's own usage were
+        // ripped up (self-discount) — exactly the cost on a grid where the
+        // net is uncommitted.
+        let (d, grid, routing, cells) = flow();
+        let stay = Candidate::stay(&d, cells[0]);
+        let priced = price_cell_nets(&d, &grid, &routing, &stay, true);
+
+        let mut clean = grid.clone();
+        let route = routing.route(crp_netlist::NetId(0));
+        route.uncommit(&mut clean);
+        let reference = route.cost(&clean);
+        assert!(
+            (priced - reference).abs() < 1e-6,
+            "discounted stay price {priced} vs uncommitted-route cost {reference}"
+        );
+    }
+
+    #[test]
+    fn estimate_fills_all_candidates_deterministically() {
+        let (d, grid, routing, cells) = flow();
+        let cfg = CrpConfig::default();
+        let make = || {
+            vec![
+                vec![Candidate::stay(&d, cells[0]), {
+                    let mut c = Candidate::stay(&d, cells[0]);
+                    c.pos = Point::new(4_000, 2_000);
+                    c
+                }],
+                vec![Candidate::stay(&d, cells[1])],
+            ]
+        };
+        let mut a = make();
+        estimate_candidates(&d, &grid, &routing, &mut a, &cfg);
+        let mut b = make();
+        let mut cfg1 = cfg;
+        cfg1.threads = 1;
+        estimate_candidates(&d, &grid, &routing, &mut b, &cfg1);
+        for (ca, cb) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert!(ca.routing_cost > 0.0);
+            assert_eq!(ca.routing_cost, cb.routing_cost, "thread count changed results");
+        }
+    }
+
+    #[test]
+    fn move_margin_penalizes_non_stay() {
+        let (d, grid, routing, cells) = flow();
+        let mut cfg = CrpConfig::default();
+        cfg.move_margin = 1000.0;
+        let mut lists = vec![vec![Candidate::stay(&d, cells[0]), {
+            let mut c = Candidate::stay(&d, cells[0]);
+            c.pos = Point::new(400, 0); // trivial sideways move
+            c
+        }]];
+        estimate_candidates(&d, &grid, &routing, &mut lists, &cfg);
+        assert!(
+            lists[0][1].routing_cost > lists[0][0].routing_cost,
+            "margin must make near-equivalent moves lose"
+        );
+    }
+
+    #[test]
+    fn joint_move_prices_conflict_cell_nets_too() {
+        let (d, grid, routing, cells) = flow();
+        let mut joint = Candidate::stay(&d, cells[0]);
+        joint.moves.push((cells[1], Point::new(0, 2_000), crp_geom::Orientation::FS));
+        let p_joint = price_cell_nets(&d, &grid, &routing, &joint, true);
+        let p_stay = price_cell_nets(&d, &grid, &routing, &Candidate::stay(&d, cells[0]), true);
+        // Bringing u1 next to u0 shrinks the shared net drastically.
+        assert!(p_joint < p_stay);
+    }
+}

@@ -1,0 +1,321 @@
+//! The CR&P iteration driver (steps 1–5 of the flow).
+
+use crate::candidate::Candidate;
+use crate::config::CrpConfig;
+use crate::estimate::estimate_candidates;
+use crate::label::label_critical_cells;
+use crate::legalizer::Legalizer;
+use crate::select::select_candidates;
+use crate::timers::StageTimers;
+use crp_grid::RouteGrid;
+use crp_netlist::{CellId, Design, NetId, RowMap};
+use crp_router::{GlobalRouter, Routing};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Per-iteration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// 0-based iteration number.
+    pub iteration: usize,
+    /// Cells labeled critical (Algorithm 1 output size).
+    pub critical_cells: usize,
+    /// Total candidates generated, including stay candidates.
+    pub candidates: usize,
+    /// Cells actually moved (critical + conflict relocations).
+    pub moved_cells: usize,
+    /// Nets ripped up and rerouted in the update step.
+    pub rerouted_nets: usize,
+    /// Total Eq. 1 routing cost before the iteration.
+    pub cost_before: f64,
+    /// Total Eq. 1 routing cost after the iteration.
+    pub cost_after: f64,
+}
+
+/// The CR&P engine: owns the iteration history (`hist_c` / `hist_m` sets)
+/// and the stage timers. See the crate docs for the five steps.
+#[derive(Debug)]
+pub struct Crp {
+    config: CrpConfig,
+    critical_hist: HashSet<CellId>,
+    moved_set: HashSet<CellId>,
+    rng: StdRng,
+    /// Accumulated stage timings (Figure 3 data source).
+    pub timers: StageTimers,
+}
+
+impl Crp {
+    /// Creates a CR&P engine.
+    #[must_use]
+    pub fn new(config: CrpConfig) -> Crp {
+        Crp {
+            config,
+            critical_hist: HashSet::new(),
+            moved_set: HashSet::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            timers: StageTimers::default(),
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CrpConfig {
+        &self.config
+    }
+
+    /// Runs `k` iterations (the paper reports k = 1 and k = 10).
+    pub fn run(
+        &mut self,
+        k: usize,
+        design: &mut Design,
+        grid: &mut RouteGrid,
+        router: &mut GlobalRouter,
+        routing: &mut Routing,
+    ) -> Vec<IterationReport> {
+        (0..k)
+            .map(|i| self.run_iteration(i, design, grid, router, routing))
+            .collect()
+    }
+
+    /// Runs one CR&P iteration: label → generate candidates → estimate →
+    /// select → update database.
+    pub fn run_iteration(
+        &mut self,
+        iteration: usize,
+        design: &mut Design,
+        grid: &mut RouteGrid,
+        router: &mut GlobalRouter,
+        routing: &mut Routing,
+    ) -> IterationReport {
+        let cost_before = routing.total_cost(grid);
+
+        // Step 1: label critical cells.
+        let t = Instant::now();
+        let critical = label_critical_cells(
+            design,
+            grid,
+            routing,
+            &self.config,
+            &self.critical_hist,
+            &self.moved_set,
+            &mut self.rng,
+        );
+        self.timers.label += t.elapsed();
+
+        // Step 2: generate candidate positions (parallel; Algorithm 2).
+        let t = Instant::now();
+        let legalizer = Legalizer::new(design, &self.config);
+        let mut per_cell: Vec<Vec<Candidate>> = generate_parallel(
+            design,
+            &legalizer,
+            &critical,
+            self.config.effective_threads(),
+        );
+        self.timers.gcp += t.elapsed();
+
+        // Step 3: estimate candidate costs (parallel; Algorithm 3).
+        let t = Instant::now();
+        estimate_candidates(design, grid, routing, &mut per_cell, &self.config);
+        self.timers.ecc += t.elapsed();
+
+        // Step 4: select with the Eq. 12 ILP.
+        let t = Instant::now();
+        let chosen = select_candidates(design, &per_cell, &self.config);
+        self.timers.select += t.elapsed();
+
+        // Step 5: update database — apply moves and reroute.
+        let t = Instant::now();
+        let candidates_total: usize = per_cell.iter().map(Vec::len).sum();
+        let mut moved_cells = 0usize;
+        let mut nets_to_reroute: Vec<NetId> = Vec::new();
+        let mut occupancy = RowMap::new(design);
+        for (cands, &pick) in per_cell.iter().zip(&chosen) {
+            let cand = &cands[pick];
+            if cand.is_stay(design) {
+                continue;
+            }
+            // Safeguard: re-verify the joint move against the live design
+            // (selection conflicts are conservative, but cheap certainty
+            // beats a corrupted placement).
+            if !joint_move_fits(&occupancy, design, cand) {
+                continue;
+            }
+            for (cell, pos, orient) in
+                std::iter::once((cand.cell, cand.pos, cand.orient)).chain(cand.moves.iter().copied())
+            {
+                occupancy.relocate(design, cell, pos);
+                design.move_cell(cell, pos, orient);
+                self.moved_set.insert(cell);
+                moved_cells += 1;
+                for n in design.nets_of_cell(cell) {
+                    if !nets_to_reroute.contains(&n) {
+                        nets_to_reroute.push(n);
+                    }
+                }
+            }
+        }
+        for &net in &nets_to_reroute {
+            router.reroute_net(design, grid, routing, net);
+        }
+        self.critical_hist.extend(critical.iter().copied());
+        self.timers.update += t.elapsed();
+
+        IterationReport {
+            iteration,
+            critical_cells: critical.len(),
+            candidates: candidates_total,
+            moved_cells,
+            rerouted_nets: nets_to_reroute.len(),
+            cost_before,
+            cost_after: routing.total_cost(grid),
+        }
+    }
+}
+
+/// Runs the legalizer for every critical cell on `threads` workers and
+/// prepends the stay candidate to each list (Algorithm 2, line 2).
+fn generate_parallel(
+    design: &Design,
+    legalizer: &Legalizer<'_>,
+    critical: &[CellId],
+    threads: usize,
+) -> Vec<Vec<Candidate>> {
+    let work = |cell: CellId| -> Vec<Candidate> {
+        let mut cands = vec![Candidate::stay(design, cell)];
+        cands.extend(legalizer.candidates_for(cell));
+        cands
+    };
+    if threads <= 1 || critical.len() < 2 {
+        return critical.iter().map(|&c| work(c)).collect();
+    }
+    let chunk = critical.len().div_ceil(threads);
+    let mut out: Vec<Vec<Candidate>> = Vec::with_capacity(critical.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = critical
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(|&c| work(c)).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("legalizer worker panicked"));
+        }
+    });
+    out
+}
+
+/// Apply-time legality safeguard: whether the candidate's claimed
+/// footprints are free of every cell except those the candidate itself
+/// relocates (selection conflicts are conservative, but cheap certainty
+/// beats a corrupted placement).
+fn joint_move_fits(occupancy: &RowMap, design: &Design, cand: &Candidate) -> bool {
+    let movers: Vec<CellId> = cand.moved_cells().collect();
+    let claims = cand.claimed_rects(design);
+    // Claims must not overlap one another.
+    for i in 0..claims.len() {
+        for j in (i + 1)..claims.len() {
+            if claims[i].1.intersects(&claims[j].1) {
+                return false;
+            }
+        }
+    }
+    for (_, rect) in &claims {
+        let Some(row) = design.row_with_origin_y(rect.lo.y) else {
+            return false;
+        };
+        if !occupancy.overlapping(row.index(), rect.x_span(), &movers).is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_grid::GridConfig;
+    use crp_netlist::check_legality;
+    use crp_router::RouterConfig;
+    use crp_workload::ispd18_profiles;
+
+    fn flow(profile: usize, divisor: f64) -> (Design, RouteGrid, GlobalRouter, Routing) {
+        let design = ispd18_profiles()[profile].scaled(divisor).generate();
+        let mut grid = RouteGrid::new(&design, GridConfig::default());
+        let mut router = GlobalRouter::new(RouterConfig::default());
+        let routing = router.route_all(&design, &mut grid);
+        (design, grid, router, routing)
+    }
+
+    #[test]
+    fn iteration_keeps_design_legal_and_routing_connected() {
+        let (mut d, mut grid, mut router, mut routing) = flow(0, 400.0);
+        let mut crp = Crp::new(CrpConfig::default());
+        let report = crp.run_iteration(0, &mut d, &mut grid, &mut router, &mut routing);
+        assert!(report.critical_cells > 0);
+        assert!(check_legality(&d).is_empty(), "placement corrupted");
+        assert!(routing.is_fully_connected(&d, &grid), "routing broken");
+    }
+
+    #[test]
+    fn grid_bookkeeping_stays_exact_across_iterations() {
+        let (mut d, mut grid, mut router, mut routing) = flow(1, 800.0);
+        let mut crp = Crp::new(CrpConfig::default());
+        crp.run(3, &mut d, &mut grid, &mut router, &mut routing);
+        let expect: f64 = routing.total_wirelength() as f64;
+        assert!((grid.total_wire_usage() - expect).abs() < 1e-9, "wire usage drifted");
+        assert!(
+            (grid.total_via_endpoints() - 2.0 * routing.total_vias() as f64).abs() < 1e-9,
+            "via bookkeeping drifted"
+        );
+    }
+
+    #[test]
+    fn iterations_reduce_total_cost() {
+        // CR&P accepts only candidates the ILP scores better than staying
+        // (by at least the move margin), so the Eq. 1 objective trends
+        // down on congested designs.
+        let (mut d, mut grid, mut router, mut routing) = flow(6, 800.0);
+        let before = routing.total_cost(&grid);
+        let mut crp = Crp::new(CrpConfig::default());
+        let reports = crp.run(3, &mut d, &mut grid, &mut router, &mut routing);
+        let after = routing.total_cost(&grid);
+        assert!(
+            after < before,
+            "CR&P iterations must reduce the Eq. 1 objective: {before} -> {after} ({reports:?})"
+        );
+    }
+
+    #[test]
+    fn moves_actually_happen_on_congested_designs() {
+        let (mut d, mut grid, mut router, mut routing) = flow(6, 400.0);
+        let mut crp = Crp::new(CrpConfig::default());
+        let reports = crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
+        let moved: usize = reports.iter().map(|r| r.moved_cells).sum();
+        assert!(moved > 0, "no cells moved: {reports:?}");
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let (mut d, mut grid, mut router, mut routing) = flow(0, 800.0);
+        let mut crp = Crp::new(CrpConfig::default());
+        crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
+        assert!(crp.timers.total().as_nanos() > 0);
+        assert!(crp.timers.ecc.as_nanos() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (mut d, mut grid, mut router, mut routing) = flow(1, 800.0);
+            let mut crp = Crp::new(CrpConfig::default());
+            let reports = crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
+            (
+                reports.iter().map(|r| r.moved_cells).sum::<usize>(),
+                routing.total_wirelength(),
+                routing.total_vias(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

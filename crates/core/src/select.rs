@@ -1,0 +1,212 @@
+//! Eq. 12: selecting the best candidate per critical cell with an ILP.
+
+use crate::candidate::Candidate;
+use crate::config::CrpConfig;
+use crp_ilp::{Model, SolveLimits, VarId};
+use crp_netlist::Design;
+
+/// Selects one candidate per critical cell, minimizing the summed
+/// Algorithm-3 routing cost (Eq. 12), subject to spatial compatibility:
+///
+/// - two candidates that move the same cell are mutually exclusive;
+/// - two candidates whose claimed footprints overlap are mutually
+///   exclusive.
+///
+/// Returns the chosen index into each cell's candidate list. The all-stay
+/// assignment is always feasible, so the solve cannot be infeasible; if
+/// the node limit is hit with no incumbent, all-stay is returned.
+///
+/// # Panics
+///
+/// Panics if any candidate list is empty.
+#[must_use]
+pub fn select_candidates(
+    design: &Design,
+    per_cell: &[Vec<Candidate>],
+    config: &CrpConfig,
+) -> Vec<usize> {
+    assert!(per_cell.iter().all(|c| !c.is_empty()), "every cell needs >= 1 candidate");
+    if per_cell.is_empty() {
+        return Vec::new();
+    }
+
+    let mut model = Model::new();
+    // var -> (group, index within group)
+    let mut var_origin: Vec<(usize, usize)> = Vec::new();
+    let mut groups: Vec<Vec<VarId>> = Vec::with_capacity(per_cell.len());
+    for (g, cands) in per_cell.iter().enumerate() {
+        let mut vars = Vec::with_capacity(cands.len());
+        for (i, cand) in cands.iter().enumerate() {
+            let v = model.add_var(cand.routing_cost);
+            var_origin.push((g, i));
+            vars.push(v);
+        }
+        groups.push(vars);
+    }
+
+    // Spatial conflicts. Candidates of far-apart critical cells cannot
+    // interact; prune pairs by the distance of the critical cells.
+    let window_reach = 2 * (config.n_site * design.site.width + config.n_row * design.site.height);
+    let rects: Vec<Vec<Vec<(crp_netlist::CellId, crp_geom::Rect)>>> = per_cell
+        .iter()
+        .map(|cands| cands.iter().map(|c| c.claimed_rects(design)).collect())
+        .collect();
+    for ga in 0..per_cell.len() {
+        let pa = design.cell(per_cell[ga][0].cell).pos;
+        for gb in (ga + 1)..per_cell.len() {
+            let pb = design.cell(per_cell[gb][0].cell).pos;
+            if pa.manhattan(pb) > window_reach {
+                continue;
+            }
+            for (ia, &va) in groups[ga].iter().enumerate() {
+                for (ib, &vb) in groups[gb].iter().enumerate() {
+                    if conflicts(&per_cell[ga][ia], &per_cell[gb][ib], &rects[ga][ia], &rects[gb][ib])
+                    {
+                        model.add_conflict(va, vb);
+                    }
+                }
+            }
+        }
+    }
+
+    for vars in &groups {
+        model.add_exactly_one(vars.iter().copied());
+    }
+
+    match model.solve(SolveLimits { max_nodes: config.ilp_node_limit }) {
+        Ok(solution) => {
+            let mut chosen = vec![0usize; per_cell.len()];
+            for &v in &solution.chosen {
+                let (g, i) = var_origin[v.0 as usize];
+                chosen[g] = i;
+            }
+            chosen
+        }
+        Err(_) => {
+            // All-stay fallback: index of the stay candidate per group.
+            per_cell
+                .iter()
+                .map(|cands| {
+                    cands.iter().position(|c| c.is_stay(design)).unwrap_or(0)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Whether two candidates from different groups cannot both be applied.
+fn conflicts(
+    a: &Candidate,
+    b: &Candidate,
+    rects_a: &[(crp_netlist::CellId, crp_geom::Rect)],
+    rects_b: &[(crp_netlist::CellId, crp_geom::Rect)],
+) -> bool {
+    // Same cell moved by both.
+    for ca in a.moved_cells() {
+        if b.moved_cells().any(|cb| cb == ca) {
+            return true;
+        }
+    }
+    // Overlapping claimed footprints.
+    for (_, ra) in rects_a {
+        for (_, rb) in rects_b {
+            if ra.intersects(rb) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_netlist::{CellId, DesignBuilder, MacroCell};
+
+    fn design() -> (Design, Vec<CellId>) {
+        let mut b = DesignBuilder::new("sel", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(MacroCell::new("M", 400, 2000));
+        b.add_rows(4, 60, Point::new(0, 0));
+        let cells = vec![
+            b.add_cell("u0", m, Point::new(0, 0)),
+            b.add_cell("u1", m, Point::new(4000, 0)),
+        ];
+        (b.build(), cells)
+    }
+
+    fn cand(design: &Design, cell: CellId, pos: Point, cost: f64) -> Candidate {
+        let mut c = Candidate::stay(design, cell);
+        c.pos = pos;
+        c.routing_cost = cost;
+        c
+    }
+
+    #[test]
+    fn picks_cheapest_per_group_when_independent() {
+        let (d, cells) = design();
+        let mut stay0 = Candidate::stay(&d, cells[0]);
+        stay0.routing_cost = 10.0;
+        let mut stay1 = Candidate::stay(&d, cells[1]);
+        stay1.routing_cost = 10.0;
+        let per_cell = vec![
+            vec![stay0, cand(&d, cells[0], Point::new(800, 0), 3.0)],
+            vec![stay1, cand(&d, cells[1], Point::new(4800, 0), 4.0)],
+        ];
+        let chosen = select_candidates(&d, &per_cell, &CrpConfig::default());
+        assert_eq!(chosen, vec![1, 1]);
+    }
+
+    #[test]
+    fn overlapping_candidates_not_both_selected() {
+        let (d, cells) = design();
+        let same_spot = Point::new(2000, 0);
+        let mut stay0 = Candidate::stay(&d, cells[0]);
+        stay0.routing_cost = 10.0;
+        let mut stay1 = Candidate::stay(&d, cells[1]);
+        stay1.routing_cost = 10.0;
+        let per_cell = vec![
+            vec![stay0, cand(&d, cells[0], same_spot, 1.0)],
+            vec![stay1, cand(&d, cells[1], same_spot, 2.0)],
+        ];
+        let chosen = select_candidates(&d, &per_cell, &CrpConfig::default());
+        // Best feasible: u0 to the spot (1.0), u1 stays (10.0) = 11 vs 12.
+        assert_eq!(chosen, vec![1, 0]);
+    }
+
+    #[test]
+    fn same_cell_moved_by_two_groups_is_exclusive() {
+        let (d, cells) = design();
+        let mut a = cand(&d, cells[0], Point::new(800, 0), 1.0);
+        a.moves.push((cells[1], Point::new(8000, 0), crp_geom::Orientation::N));
+        let mut b = cand(&d, cells[1], Point::new(4800, 0), 1.0);
+        let mut stay0 = Candidate::stay(&d, cells[0]);
+        stay0.routing_cost = 2.0;
+        let mut stay1 = Candidate::stay(&d, cells[1]);
+        stay1.routing_cost = 2.0;
+        b.routing_cost = 1.0;
+        let per_cell = vec![vec![stay0, a], vec![stay1, b]];
+        let chosen = select_candidates(&d, &per_cell, &CrpConfig::default());
+        // Candidate a moves u1, candidate b IS u1 moving: both moving u1 is
+        // forbidden, so at most one non-stay is selected.
+        assert!(chosen != vec![1, 1]);
+    }
+
+    #[test]
+    fn all_stay_fallback_on_node_limit() {
+        let (d, cells) = design();
+        let mut cfg = CrpConfig::default();
+        cfg.ilp_node_limit = 0; // force the limit immediately
+        let stay0 = Candidate::stay(&d, cells[0]);
+        let per_cell = vec![vec![cand(&d, cells[0], Point::new(800, 0), 1.0), stay0]];
+        let chosen = select_candidates(&d, &per_cell, &cfg);
+        assert_eq!(chosen, vec![1], "must fall back to the stay candidate");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let (d, _) = design();
+        assert!(select_candidates(&d, &[], &CrpConfig::default()).is_empty());
+    }
+}

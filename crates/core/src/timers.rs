@@ -1,0 +1,100 @@
+//! Stage timers for the Figure-3 runtime breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accumulated wall-clock per CR&P stage, using the paper's Figure-3
+/// stage names: GCP (generate candidate positions), ECC (estimate
+/// candidate costs), UD (update database), and Misc (labeling + selection
+/// ILP + bookkeeping).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimers {
+    /// Labeling critical cells (part of Misc in Figure 3).
+    pub label: Duration,
+    /// Generate Candidate Positions — the ILP-based legalizer.
+    pub gcp: Duration,
+    /// Estimating Candidates Cost — Steiner + 3D pattern route pricing.
+    pub ecc: Duration,
+    /// The selection ILP (part of Misc in Figure 3).
+    pub select: Duration,
+    /// Update Database — applying moves and rerouting nets.
+    pub update: Duration,
+}
+
+impl StageTimers {
+    /// Total time across all stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.label + self.gcp + self.ecc + self.select + self.update
+    }
+
+    /// The Figure-3 "Misc" bucket: everything but GCP, ECC, and UD.
+    #[must_use]
+    pub fn misc(&self) -> Duration {
+        self.label + self.select
+    }
+
+    /// Adds another timer set stage-wise.
+    pub fn accumulate(&mut self, other: &StageTimers) {
+        self.label += other.label;
+        self.gcp += other.gcp;
+        self.ecc += other.ecc;
+        self.select += other.select;
+        self.update += other.update;
+    }
+
+    /// Percentage breakdown `(gcp, ecc, ud, misc)` of the total, for the
+    /// Figure-3 bars. Returns zeros when nothing was timed.
+    #[must_use]
+    pub fn breakdown_pct(&self) -> (f64, f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.gcp.as_secs_f64() / total * 100.0,
+            self.ecc.as_secs_f64() / total * 100.0,
+            self.update.as_secs_f64() / total * 100.0,
+            self.misc().as_secs_f64() / total * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_total() {
+        let mut a = StageTimers {
+            label: Duration::from_millis(10),
+            gcp: Duration::from_millis(20),
+            ecc: Duration::from_millis(30),
+            select: Duration::from_millis(5),
+            update: Duration::from_millis(35),
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total(), Duration::from_millis(200));
+        assert_eq!(a.misc(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn breakdown_sums_to_100() {
+        let t = StageTimers {
+            label: Duration::from_millis(10),
+            gcp: Duration::from_millis(20),
+            ecc: Duration::from_millis(50),
+            select: Duration::from_millis(5),
+            update: Duration::from_millis(15),
+        };
+        let (gcp, ecc, ud, misc) = t.breakdown_pct();
+        assert!((gcp + ecc + ud + misc - 100.0).abs() < 1e-9);
+        assert!(ecc > gcp && ecc > ud);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(StageTimers::default().breakdown_pct(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

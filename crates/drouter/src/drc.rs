@@ -1,0 +1,165 @@
+//! Design-rule violation bookkeeping.
+
+use crp_netlist::NetId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a design-rule violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Two nets forced onto the same track segment.
+    Short {
+        /// Gcell column.
+        x: u16,
+        /// Gcell row.
+        y: u16,
+        /// Layer.
+        layer: u16,
+    },
+    /// Wires packed below the layer's minimum spacing.
+    Spacing {
+        /// Gcell column.
+        x: u16,
+        /// Gcell row.
+        y: u16,
+        /// Layer.
+        layer: u16,
+    },
+    /// A metal shape below the layer's minimum area.
+    ///
+    /// The track-assignment realization always lands vias on full-gcell
+    /// wire shapes or patches isolated landings (as TritonRoute does), so
+    /// the proxy emits these only for externally injected route edits;
+    /// the category exists for evaluator-report compatibility.
+    MinArea {
+        /// Gcell column.
+        x: u16,
+        /// Gcell row.
+        y: u16,
+        /// Layer.
+        layer: u16,
+    },
+    /// A net whose pins are not all connected.
+    Open,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Short { x, y, layer } => write!(f, "short at ({x},{y}) M{}", layer + 1),
+            ViolationKind::Spacing { x, y, layer } => {
+                write!(f, "spacing at ({x},{y}) M{}", layer + 1)
+            }
+            ViolationKind::MinArea { x, y, layer } => {
+                write!(f, "min-area at ({x},{y}) M{}", layer + 1)
+            }
+            ViolationKind::Open => f.write_str("open net"),
+        }
+    }
+}
+
+/// One design-rule violation attributed to a net (`NetId(u32::MAX)` marks
+/// area violations not attributable to a single net).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Offending net.
+    pub net: NetId,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// Aggregated DRC counts, mirroring the ISPD-2018 evaluator's categories.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrcReport {
+    /// Short violations.
+    pub shorts: usize,
+    /// Spacing violations.
+    pub spacing: usize,
+    /// Minimum-area violations.
+    pub min_area: usize,
+    /// Open nets.
+    pub opens: usize,
+    /// The individual violations (capped at 10 000 to bound memory).
+    pub violations: Vec<Violation>,
+}
+
+impl DrcReport {
+    /// Builds a report from raw violations.
+    #[must_use]
+    pub fn from_violations(violations: Vec<Violation>) -> DrcReport {
+        let mut report = DrcReport::default();
+        for v in &violations {
+            match v.kind {
+                ViolationKind::Short { .. } => report.shorts += 1,
+                ViolationKind::Spacing { .. } => report.spacing += 1,
+                ViolationKind::MinArea { .. } => report.min_area += 1,
+                ViolationKind::Open => report.opens += 1,
+            }
+        }
+        report.violations = violations;
+        report.violations.truncate(10_000);
+        report
+    }
+
+    /// Total violation count across categories.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.shorts + self.spacing + self.min_area + self.opens
+    }
+
+    /// Whether the design is DRC-clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl fmt::Display for DrcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRVs: {} (shorts {}, spacing {}, min-area {}, opens {})",
+            self.total(),
+            self.shorts,
+            self.spacing,
+            self.min_area,
+            self.opens
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let vs = vec![
+            Violation { net: NetId(0), kind: ViolationKind::Short { x: 0, y: 0, layer: 1 } },
+            Violation { net: NetId(0), kind: ViolationKind::Short { x: 1, y: 0, layer: 1 } },
+            Violation { net: NetId(1), kind: ViolationKind::Open },
+            Violation { net: NetId(2), kind: ViolationKind::Spacing { x: 2, y: 2, layer: 3 } },
+        ];
+        let r = DrcReport::from_violations(vs);
+        assert_eq!(r.shorts, 2);
+        assert_eq!(r.opens, 1);
+        assert_eq!(r.spacing, 1);
+        assert_eq!(r.min_area, 0);
+        assert_eq!(r.total(), 4);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn empty_is_clean() {
+        let r = DrcReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.to_string(), "DRVs: 0 (shorts 0, spacing 0, min-area 0, opens 0)");
+    }
+
+    #[test]
+    fn kind_display() {
+        let k = ViolationKind::Short { x: 3, y: 4, layer: 1 };
+        assert_eq!(k.to_string(), "short at (3,4) M2");
+        assert_eq!(ViolationKind::Open.to_string(), "open net");
+    }
+}

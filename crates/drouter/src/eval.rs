@@ -1,0 +1,134 @@
+//! The ISPD-2018-style weighted score.
+
+use crate::track::DetailedResult;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Weight of one DBU-normalized unit of wire (ISPD-2018: 0.5).
+pub const WIRE_WEIGHT: f64 = 0.5;
+/// Weight of one via (ISPD-2018: 2.0 — four times the wire unit).
+pub const VIA_WEIGHT: f64 = 2.0;
+/// Penalty per design-rule violation (ISPD-2018: 500).
+pub const DRV_WEIGHT: f64 = 500.0;
+
+/// The evaluator's summary of one detailed-routing run.
+///
+/// Mirrors the columns of Table III: total wirelength, via count, DRVs,
+/// plus the weighted contest score used to compare flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Score {
+    /// Total wirelength in DBU.
+    pub wirelength_dbu: i64,
+    /// Total via count.
+    pub vias: u64,
+    /// Total design-rule violations.
+    pub drvs: usize,
+    /// Weighted score: `0.5·WL(µm-equivalent) + 2·vias + 500·DRVs`.
+    ///
+    /// Wirelength enters in thousands of DBU so wire and via terms have
+    /// comparable magnitude, matching the contest's track-pitch
+    /// normalization.
+    pub weighted: f64,
+}
+
+impl Score {
+    /// Relative improvement of `self` over `baseline`, in percent, for a
+    /// metric extractor (positive = better, i.e. smaller).
+    #[must_use]
+    pub fn improvement_pct(metric_base: f64, metric_new: f64) -> f64 {
+        if metric_base == 0.0 {
+            return 0.0;
+        }
+        (metric_base - metric_new) / metric_base * 100.0
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WL {} dbu, vias {}, DRVs {}, score {:.1}",
+            self.wirelength_dbu, self.vias, self.drvs, self.weighted
+        )
+    }
+}
+
+/// Scores a detailed-routing result with the ISPD-2018 weights.
+///
+/// # Examples
+///
+/// ```
+/// # use crp_drouter::{evaluate, DetailedResult, DrcReport};
+/// let result = DetailedResult {
+///     wirelength_dbu: 100_000,
+///     vias: 40,
+///     layer_bumps: 0,
+///     detours: 0,
+///     drc: DrcReport::default(),
+/// };
+/// let score = evaluate(&result);
+/// assert_eq!(score.vias, 40);
+/// assert_eq!(score.weighted, 0.5 * 100.0 + 2.0 * 40.0);
+/// ```
+#[must_use]
+pub fn evaluate(result: &DetailedResult) -> Score {
+    let drvs = result.drc.total();
+    let wl_kdbu = result.wirelength_dbu as f64 / 1000.0;
+    Score {
+        wirelength_dbu: result.wirelength_dbu,
+        vias: result.vias,
+        drvs,
+        weighted: WIRE_WEIGHT * wl_kdbu + VIA_WEIGHT * result.vias as f64 + DRV_WEIGHT * drvs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::DrcReport;
+
+    fn result(wl: i64, vias: u64, shorts: usize) -> DetailedResult {
+        let violations = (0..shorts)
+            .map(|i| crate::drc::Violation {
+                net: crp_netlist::NetId(i as u32),
+                kind: crate::drc::ViolationKind::Short { x: 0, y: 0, layer: 1 },
+            })
+            .collect();
+        DetailedResult {
+            wirelength_dbu: wl,
+            vias,
+            layer_bumps: 0,
+            detours: 0,
+            drc: DrcReport::from_violations(violations),
+        }
+    }
+
+    #[test]
+    fn weights_applied() {
+        let s = evaluate(&result(2_000_000, 100, 2));
+        assert_eq!(s.weighted, 0.5 * 2000.0 + 2.0 * 100.0 + 500.0 * 2.0);
+        assert_eq!(s.drvs, 2);
+    }
+
+    #[test]
+    fn via_is_4x_wire_unit() {
+        // One via must cost as much as 4000 DBU of wire (4 "kdbu units").
+        let wire_only = evaluate(&result(4_000, 0, 0));
+        let via_only = evaluate(&result(0, 1, 0));
+        assert_eq!(wire_only.weighted, via_only.weighted);
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert_eq!(Score::improvement_pct(100.0, 98.0), 2.0);
+        assert_eq!(Score::improvement_pct(100.0, 103.0), -3.0);
+        assert_eq!(Score::improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = evaluate(&result(10, 2, 1));
+        let txt = s.to_string();
+        assert!(txt.contains("vias 2") && txt.contains("DRVs 1"));
+    }
+}

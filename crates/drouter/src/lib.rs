@@ -1,0 +1,55 @@
+//! Detailed-routing realization and evaluation for the CR&P flow.
+//!
+//! The paper hands its global routes (guide file + DEF) to TritonRoute and
+//! scores the result with the official ISPD-2018 evaluator. This crate is
+//! the equivalent substrate: a deterministic **track-assignment detailed
+//! router** that realizes each global-route segment on a concrete track,
+//! negotiating local congestion the way a detailed router does —
+//!
+//! - if the guide's layer has a free track in every covered gcell, the
+//!   segment lands there;
+//! - otherwise it *bumps* to the nearest same-direction layer with free
+//!   tracks, paying vias at both ends (this is the mechanism that converts
+//!   global-routing congestion into detailed-routing via count);
+//! - if no layer fits, it *detours* (extra wirelength) while tracks remain
+//!   within a slack margin, and finally reports a **short** DRV.
+//!
+//! [`DrcReport`] adds open-net, spacing, and min-area checks, and
+//! [`evaluate`] combines everything into the ISPD-2018 weighted score
+//! (wire unit 0.5, via unit 2, 500 per DRV).
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_drouter::{DetailedRouter, DrConfig};
+//! use crp_router::{GlobalRouter, RouterConfig};
+//! use crp_grid::{GridConfig, RouteGrid};
+//! # use crp_netlist::{DesignBuilder, MacroCell};
+//! # use crp_geom::Point;
+//! # let mut b = DesignBuilder::new("d", 1000);
+//! # b.site(200, 2000);
+//! # let m = b.add_macro(MacroCell::new("INV", 400, 2000).with_pin("A", 100, 1000, 0));
+//! # b.add_rows(10, 100, Point::new(0, 0));
+//! # let c0 = b.add_cell("u0", m, Point::new(0, 0));
+//! # let c1 = b.add_cell("u1", m, Point::new(12_000, 8_000));
+//! # let n = b.add_net("n0");
+//! # b.connect(n, c0, "A");
+//! # b.connect(n, c1, "A");
+//! # let design = b.build();
+//! let mut grid = RouteGrid::new(&design, GridConfig::default());
+//! let routing = GlobalRouter::new(RouterConfig::default()).route_all(&design, &mut grid);
+//! let result = DetailedRouter::new(DrConfig::default()).run(&design, &grid, &routing);
+//! assert_eq!(result.drc.opens, 0);
+//! assert!(result.wirelength_dbu > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drc;
+mod eval;
+mod track;
+
+pub use drc::{DrcReport, Violation, ViolationKind};
+pub use eval::{evaluate, Score, WIRE_WEIGHT, VIA_WEIGHT, DRV_WEIGHT};
+pub use track::{DetailedResult, DetailedRouter, DrConfig};

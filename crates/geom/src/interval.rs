@@ -1,0 +1,148 @@
+//! 1D half-open intervals for row/track bookkeeping.
+
+use crate::Dbu;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` over DBU coordinates.
+///
+/// Used to represent row spans, track extents, and free segments during
+/// legalization. Abutting intervals do not overlap.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::Interval;
+///
+/// let row = Interval::new(0, 1000);
+/// let cell = Interval::new(200, 400);
+/// assert!(row.contains_interval(&cell));
+/// assert_eq!(row.len(), 1000);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: Dbu,
+    /// Exclusive upper bound.
+    pub hi: Dbu,
+}
+
+impl Interval {
+    /// Creates an interval, normalizing the bound order.
+    #[must_use]
+    pub fn new(a: Dbu, b: Dbu) -> Interval {
+        Interval { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Length of the interval.
+    #[must_use]
+    pub fn len(&self) -> Dbu {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Whether `x` lies inside (half-open test).
+    #[must_use]
+    pub fn contains(&self, x: Dbu) -> bool {
+        x >= self.lo && x < self.hi
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.lo >= self.lo && other.hi <= self.hi
+    }
+
+    /// Whether the interiors overlap. Empty intervals overlap nothing.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// The overlapping span, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest interval containing both.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Clamps `x` into the closed interval `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(&self, x: Dbu) -> Dbu {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalizes() {
+        let i = Interval::new(10, 3);
+        assert_eq!((i.lo, i.hi), (3, 10));
+    }
+
+    #[test]
+    fn abutting_do_not_overlap() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 10);
+        assert!(!a.overlaps(&b));
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.hull(&b), Interval::new(0, 10));
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let i = Interval::new(2, 6);
+        assert!(i.contains(2));
+        assert!(i.contains(5));
+        assert!(!i.contains(6));
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_within_hull(a in -100i64..100, b in -100i64..100,
+                                    c in -100i64..100, d in -100i64..100) {
+            let x = Interval::new(a, b);
+            let y = Interval::new(c, d);
+            let h = x.hull(&y);
+            prop_assert!(h.contains_interval(&x));
+            prop_assert!(h.contains_interval(&y));
+            if let Some(i) = x.intersection(&y) {
+                prop_assert!(x.contains_interval(&i));
+                prop_assert!(y.contains_interval(&i));
+                prop_assert!(i.len() > 0);
+            }
+        }
+
+        #[test]
+        fn overlap_symmetric(a in -100i64..100, b in -100i64..100,
+                             c in -100i64..100, d in -100i64..100) {
+            let x = Interval::new(a, b);
+            let y = Interval::new(c, d);
+            prop_assert_eq!(x.overlaps(&y), y.overlaps(&x));
+        }
+    }
+}

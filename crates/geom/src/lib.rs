@@ -1,0 +1,171 @@
+//! Integer geometry primitives for the CR&P physical-design toolkit.
+//!
+//! All coordinates are integers in database units (DBU), following the
+//! LEF/DEF convention. The crate provides:
+//!
+//! - [`Point`] / [`Point3`] — 2D and layer-annotated 3D points,
+//! - [`Rect`] — axis-aligned rectangles (cell outlines, blockages, pins),
+//! - [`Interval`] — 1D closed-open spans used by track and row math,
+//! - [`Orientation`] — the eight DEF placement orientations,
+//! - [`Axis`] and [`Dir`] — preferred-direction bookkeeping for layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_geom::{Point, Rect};
+//!
+//! let cell = Rect::new(Point::new(0, 0), Point::new(200, 400));
+//! let pin = Point::new(100, 200);
+//! assert!(cell.contains(pin));
+//! assert_eq!(cell.area(), 80_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod orient;
+mod point;
+mod rect;
+
+pub use interval::Interval;
+pub use orient::{Orientation, ParseOrientationError};
+pub use point::{Point, Point3};
+pub use rect::{bounding_box, Rect};
+
+use serde::{Deserialize, Serialize};
+
+/// A database-unit coordinate. LEF/DEF designs use signed integer DBUs.
+pub type Dbu = i64;
+
+/// One of the two routing axes.
+///
+/// Metal layers alternate preferred directions; [`Axis::X`] means wires run
+/// horizontally (their *spans* vary in x), [`Axis::Y`] vertically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis {
+    /// Horizontal wires (x-parallel).
+    X,
+    /// Vertical wires (y-parallel).
+    Y,
+}
+
+impl Axis {
+    /// The other axis.
+    ///
+    /// ```
+    /// use crp_geom::Axis;
+    /// assert_eq!(Axis::X.perpendicular(), Axis::Y);
+    /// ```
+    #[must_use]
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::X => f.write_str("X"),
+            Axis::Y => f.write_str("Y"),
+        }
+    }
+}
+
+/// A step direction on the 3D GCell graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Toward larger x.
+    East,
+    /// Toward smaller x.
+    West,
+    /// Toward larger y.
+    North,
+    /// Toward smaller y.
+    South,
+    /// Toward a higher layer.
+    Up,
+    /// Toward a lower layer.
+    Down,
+}
+
+impl Dir {
+    /// All six step directions.
+    pub const ALL: [Dir; 6] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Up, Dir::Down];
+
+    /// The opposite direction.
+    ///
+    /// ```
+    /// use crp_geom::Dir;
+    /// assert_eq!(Dir::East.opposite(), Dir::West);
+    /// assert_eq!(Dir::Up.opposite(), Dir::Down);
+    /// ```
+    #[must_use]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+
+    /// Whether this step stays within one layer.
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        !matches!(self, Dir::Up | Dir::Down)
+    }
+
+    /// The planar axis this step moves along, if any.
+    #[must_use]
+    pub fn axis(self) -> Option<Axis> {
+        match self {
+            Dir::East | Dir::West => Some(Axis::X),
+            Dir::North | Dir::South => Some(Axis::Y),
+            Dir::Up | Dir::Down => None,
+        }
+    }
+}
+
+/// Manhattan distance between two scalar coordinates.
+#[must_use]
+pub fn span(a: Dbu, b: Dbu) -> Dbu {
+    (a - b).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_perpendicular_involution() {
+        assert_eq!(Axis::X.perpendicular().perpendicular(), Axis::X);
+        assert_eq!(Axis::Y.perpendicular().perpendicular(), Axis::Y);
+    }
+
+    #[test]
+    fn dir_opposite_involution() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn dir_axis_planarity_agree() {
+        for d in Dir::ALL {
+            assert_eq!(d.is_planar(), d.axis().is_some());
+        }
+    }
+
+    #[test]
+    fn span_is_symmetric() {
+        assert_eq!(span(3, 10), 7);
+        assert_eq!(span(10, 3), 7);
+        assert_eq!(span(-5, 5), 10);
+    }
+}

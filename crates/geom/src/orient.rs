@@ -1,0 +1,167 @@
+//! DEF placement orientations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the eight DEF component orientations.
+///
+/// Standard-cell rows alternate between [`Orientation::N`] and
+/// [`Orientation::FS`] so that power rails abut; a cell placed in a row must
+/// match the row's orientation (Eq. 8 of the CR&P paper and its note).
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::Orientation;
+///
+/// let o: Orientation = "FS".parse()?;
+/// assert_eq!(o, Orientation::FS);
+/// assert!(o.is_flipped());
+/// # Ok::<(), crp_geom::ParseOrientationError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// North — the default, unrotated orientation.
+    #[default]
+    N,
+    /// South — rotated 180°.
+    S,
+    /// West — rotated 90° counter-clockwise.
+    W,
+    /// East — rotated 90° clockwise.
+    E,
+    /// Flipped north — mirrored about the y axis.
+    FN,
+    /// Flipped south — mirrored about the x axis.
+    FS,
+    /// Flipped west.
+    FW,
+    /// Flipped east.
+    FE,
+}
+
+impl Orientation {
+    /// All eight orientations.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::N,
+        Orientation::S,
+        Orientation::W,
+        Orientation::E,
+        Orientation::FN,
+        Orientation::FS,
+        Orientation::FW,
+        Orientation::FE,
+    ];
+
+    /// Whether the orientation mirrors the cell.
+    #[must_use]
+    pub fn is_flipped(self) -> bool {
+        matches!(self, Orientation::FN | Orientation::FS | Orientation::FW | Orientation::FE)
+    }
+
+    /// Whether the orientation swaps the cell's width and height.
+    #[must_use]
+    pub fn swaps_axes(self) -> bool {
+        matches!(self, Orientation::W | Orientation::E | Orientation::FW | Orientation::FE)
+    }
+
+    /// The orientation of the row above/below in an alternating-row scheme.
+    ///
+    /// ```
+    /// use crp_geom::Orientation;
+    /// assert_eq!(Orientation::N.row_alternate(), Orientation::FS);
+    /// assert_eq!(Orientation::FS.row_alternate(), Orientation::N);
+    /// ```
+    #[must_use]
+    pub fn row_alternate(self) -> Orientation {
+        match self {
+            Orientation::N => Orientation::FS,
+            Orientation::FS => Orientation::N,
+            Orientation::S => Orientation::FN,
+            Orientation::FN => Orientation::S,
+            other => other,
+        }
+    }
+
+    /// The DEF keyword for this orientation.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Orientation::N => "N",
+            Orientation::S => "S",
+            Orientation::W => "W",
+            Orientation::E => "E",
+            Orientation::FN => "FN",
+            Orientation::FS => "FS",
+            Orientation::FW => "FW",
+            Orientation::FE => "FE",
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown orientation keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOrientationError {
+    token: String,
+}
+
+impl fmt::Display for ParseOrientationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown orientation keyword `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseOrientationError {}
+
+impl FromStr for Orientation {
+    type Err = ParseOrientationError;
+
+    fn from_str(s: &str) -> Result<Orientation, ParseOrientationError> {
+        Orientation::ALL
+            .iter()
+            .copied()
+            .find(|o| o.as_str() == s)
+            .ok_or_else(|| ParseOrientationError { token: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for o in Orientation::ALL {
+            assert_eq!(o.as_str().parse::<Orientation>().unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("NORTHWEST".parse::<Orientation>().is_err());
+        let err = "x".parse::<Orientation>().unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn row_alternate_is_involution_for_row_orients() {
+        for o in [Orientation::N, Orientation::FS, Orientation::S, Orientation::FN] {
+            assert_eq!(o.row_alternate().row_alternate(), o);
+        }
+    }
+
+    #[test]
+    fn flipped_detection() {
+        assert!(!Orientation::N.is_flipped());
+        assert!(Orientation::FS.is_flipped());
+        assert!(Orientation::FE.swaps_axes());
+        assert!(!Orientation::S.swaps_axes());
+    }
+}

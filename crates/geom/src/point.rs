@@ -1,0 +1,241 @@
+//! 2D and 3D (layer-annotated) points.
+
+use crate::Dbu;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A 2D point in database units.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::Point;
+///
+/// let a = Point::new(0, 0);
+/// let b = Point::new(3, 4);
+/// assert_eq!(a.manhattan(b), 7);
+/// assert_eq!(a + b, b);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: Dbu, y: Dbu) -> Point {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use crp_geom::Point;
+    /// assert_eq!(Point::new(1, 1).manhattan(Point::new(4, 5)), 7);
+    /// ```
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[must_use]
+    pub fn chebyshev(self, other: Point) -> Dbu {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Attaches a layer index, producing a [`Point3`].
+    #[must_use]
+    pub fn on_layer(self, layer: usize) -> Point3 {
+        Point3 { x: self.x, y: self.y, layer }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl From<(Dbu, Dbu)> for Point {
+    fn from((x, y): (Dbu, Dbu)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+/// A point annotated with a routing-layer index.
+///
+/// Layer `0` is the lowest routing layer (M1 in LEF terms). Via edges connect
+/// `(x, y, z)` to `(x, y, z ± 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::{Point, Point3};
+///
+/// let p = Point::new(10, 20).on_layer(2);
+/// assert_eq!(p.xy(), Point::new(10, 20));
+/// assert_eq!(p.layer, 2);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Point3 {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+    /// Routing layer index (0 = lowest).
+    pub layer: usize,
+}
+
+impl Point3 {
+    /// Creates a 3D point.
+    #[must_use]
+    pub const fn new(x: Dbu, y: Dbu, layer: usize) -> Point3 {
+        Point3 { x, y, layer }
+    }
+
+    /// The planar projection of this point.
+    #[must_use]
+    pub fn xy(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Manhattan distance counting layer hops as `via_weight` each.
+    #[must_use]
+    pub fn manhattan3(self, other: Point3, via_weight: Dbu) -> Dbu {
+        self.xy().manhattan(other.xy())
+            + via_weight * (self.layer as Dbu - other.layer as Dbu).abs()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, M{})", self.x, self.y, self.layer + 1)
+    }
+}
+
+impl From<(Dbu, Dbu, usize)> for Point3 {
+    fn from((x, y, layer): (Dbu, Dbu, usize)) -> Point3 {
+        Point3::new(x, y, layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Point::new(5, -3);
+        let b = Point::new(-2, 9);
+        assert_eq!(a + b - b, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn manhattan3_counts_vias() {
+        let a = Point3::new(0, 0, 0);
+        let b = Point3::new(3, 4, 2);
+        assert_eq!(a.manhattan3(b, 10), 7 + 20);
+    }
+
+    #[test]
+    fn min_max_bound() {
+        let a = Point::new(1, 8);
+        let b = Point::new(5, 2);
+        assert_eq!(a.min(b), Point::new(1, 2));
+        assert_eq!(a.max(b), Point::new(5, 8));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Point3::new(1, 2, 0).to_string(), "(1, 2, M1)");
+    }
+
+    proptest! {
+        #[test]
+        fn manhattan_symmetric(ax in -1000i64..1000, ay in -1000i64..1000,
+                               bx in -1000i64..1000, by in -1000i64..1000) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        }
+
+        #[test]
+        fn manhattan_triangle_inequality(
+            ax in -1000i64..1000, ay in -1000i64..1000,
+            bx in -1000i64..1000, by in -1000i64..1000,
+            cx in -1000i64..1000, cy in -1000i64..1000,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        }
+
+        #[test]
+        fn chebyshev_le_manhattan(ax in -1000i64..1000, ay in -1000i64..1000,
+                                  bx in -1000i64..1000, by in -1000i64..1000) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Axis-aligned rectangles.
+
+use crate::{Axis, Dbu, Interval, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle with inclusive lower-left and exclusive
+/// upper-right corners (half-open on both axes).
+///
+/// The half-open convention makes abutting cells non-overlapping: a cell
+/// occupying `[0, 200)` and its right neighbour occupying `[200, 400)` share
+/// the boundary `x = 200` without intersecting, matching row-based placement
+/// legality.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::{Point, Rect};
+///
+/// let a = Rect::new(Point::new(0, 0), Point::new(200, 100));
+/// let b = Rect::new(Point::new(200, 0), Point::new(400, 100));
+/// assert!(!a.intersects(&b)); // abutting, not overlapping
+/// assert_eq!(a.union(&b).width(), 400);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner (inclusive).
+    pub lo: Point,
+    /// Upper-right corner (exclusive).
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalizing their order.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Rect {
+        Rect { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Creates a rectangle from the lower-left corner and a size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn with_size(lo: Point, width: Dbu, height: Dbu) -> Rect {
+        assert!(width >= 0 && height >= 0, "rect size must be non-negative");
+        Rect { lo, hi: Point::new(lo.x + width, lo.y + height) }
+    }
+
+    /// Width (x-extent).
+    #[must_use]
+    pub fn width(&self) -> Dbu {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (y-extent).
+    #[must_use]
+    pub fn height(&self) -> Dbu {
+        self.hi.y - self.lo.y
+    }
+
+    /// Extent along `axis`.
+    #[must_use]
+    pub fn extent(&self, axis: Axis) -> Dbu {
+        match axis {
+            Axis::X => self.width(),
+            Axis::Y => self.height(),
+        }
+    }
+
+    /// Area in DBU².
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        i128::from(self.width()) * i128::from(self.height())
+    }
+
+    /// Whether the rectangle has zero area.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Geometric center (rounded toward the lower-left on odd extents).
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new((self.lo.x + self.hi.x) / 2, (self.lo.y + self.hi.y) / 2)
+    }
+
+    /// The x-span as a half-open interval.
+    #[must_use]
+    pub fn x_span(&self) -> Interval {
+        Interval::new(self.lo.x, self.hi.x)
+    }
+
+    /// The y-span as a half-open interval.
+    #[must_use]
+    pub fn y_span(&self) -> Interval {
+        Interval::new(self.lo.y, self.hi.y)
+    }
+
+    /// Whether `p` lies inside (half-open test).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x < self.hi.x && p.y >= self.lo.y && p.y < self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.lo.x >= self.lo.x
+            && other.lo.y >= self.lo.y
+            && other.hi.x <= self.hi.x
+            && other.hi.y <= self.hi.y
+    }
+
+    /// Whether the interiors overlap (abutting rectangles do not
+    /// intersect, and empty rectangles intersect nothing).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The overlapping region, if the interiors overlap.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if self.intersects(other) {
+            Some(Rect { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Grows the rectangle by `margin` on every side (shrinks if negative).
+    ///
+    /// The result is normalized, so over-shrinking collapses to a point.
+    #[must_use]
+    pub fn inflate(&self, margin: Dbu) -> Rect {
+        let lo = Point::new(self.lo.x - margin, self.lo.y - margin);
+        let hi = Point::new(
+            (self.hi.x + margin).max(lo.x),
+            (self.hi.y + margin).max(lo.y),
+        );
+        Rect { lo, hi }
+    }
+
+    /// Translates by `delta`.
+    #[must_use]
+    pub fn translate(&self, delta: Point) -> Rect {
+        Rect { lo: self.lo + delta, hi: self.hi + delta }
+    }
+
+    /// Manhattan distance from `p` to the closest point of the rectangle
+    /// (zero if `p` is inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> Dbu {
+        let dx = (self.lo.x - p.x).max(0).max(p.x - (self.hi.x - 1)).max(0);
+        let dy = (self.lo.y - p.y).max(0).max(p.y - (self.hi.y - 1)).max(0);
+        dx + dy
+    }
+
+    /// Half-perimeter of the rectangle — the HPWL of its corner set.
+    #[must_use]
+    pub fn half_perimeter(&self) -> Dbu {
+        self.width() + self.height()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+/// Computes the bounding box of a set of points, or `None` when empty.
+///
+/// The returned box is half-open and contains every input point, so its
+/// upper-right corner exceeds the maximum point by one DBU on each axis.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::{bounding_box, Point};
+///
+/// let bb = bounding_box([Point::new(0, 0), Point::new(10, 5)]).unwrap();
+/// assert!(bb.contains(Point::new(10, 5)));
+/// assert_eq!(bb.half_perimeter(), 17);
+/// ```
+pub fn bounding_box<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+    let mut iter = points.into_iter();
+    let first = iter.next()?;
+    let (lo, hi) = iter.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
+    Some(Rect { lo, hi: hi + Point::new(1, 1) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(x0: Dbu, y0: Dbu, x1: Dbu, y1: Dbu) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn normalizes_corners() {
+        let r = Rect::new(Point::new(5, 9), Point::new(1, 2));
+        assert_eq!(r.lo, Point::new(1, 2));
+        assert_eq!(r.hi, Point::new(5, 9));
+    }
+
+    #[test]
+    fn abutting_rects_do_not_intersect() {
+        let a = rect(0, 0, 10, 10);
+        let b = rect(10, 0, 20, 10);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_contained() {
+        let a = rect(0, 0, 10, 10);
+        let b = rect(5, 5, 15, 15);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, rect(5, 5, 10, 10));
+        assert_eq!(b.intersection(&a).unwrap(), i);
+        assert!(a.contains_rect(&i) && b.contains_rect(&i));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = rect(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(!r.contains(Point::new(10, 0)));
+        assert!(!r.contains(Point::new(0, 10)));
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let r = rect(0, 0, 10, 10);
+        assert_eq!(r.distance_to_point(Point::new(5, 5)), 0);
+        assert_eq!(r.distance_to_point(Point::new(12, 5)), 3);
+        assert_eq!(r.distance_to_point(Point::new(-2, -3)), 5);
+    }
+
+    #[test]
+    fn inflate_then_deflate_restores() {
+        let r = rect(10, 10, 30, 40);
+        assert_eq!(r.inflate(5).inflate(-5), r);
+    }
+
+    #[test]
+    fn bounding_box_of_empty_is_none() {
+        assert!(bounding_box(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_contains_all_inputs() {
+        let pts = [Point::new(3, 7), Point::new(-1, 2), Point::new(5, 5)];
+        let bb = bounding_box(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both(
+            ax0 in -100i64..100, ay0 in -100i64..100, ax1 in -100i64..100, ay1 in -100i64..100,
+            bx0 in -100i64..100, by0 in -100i64..100, bx1 in -100i64..100, by1 in -100i64..100,
+        ) {
+            let a = rect(ax0, ay0, ax1, ay1);
+            let b = rect(bx0, by0, bx1, by1);
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn intersection_area_bounded(
+            ax0 in -100i64..100, ay0 in -100i64..100, ax1 in -100i64..100, ay1 in -100i64..100,
+            bx0 in -100i64..100, by0 in -100i64..100, bx1 in -100i64..100, by1 in -100i64..100,
+        ) {
+            let a = rect(ax0, ay0, ax1, ay1);
+            let b = rect(bx0, by0, bx1, by1);
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(i.area() <= a.area());
+                prop_assert!(i.area() <= b.area());
+                prop_assert!(i.area() > 0);
+            }
+        }
+
+        #[test]
+        fn translate_preserves_size(
+            x0 in -100i64..100, y0 in -100i64..100, x1 in -100i64..100, y1 in -100i64..100,
+            dx in -50i64..50, dy in -50i64..50,
+        ) {
+            let r = rect(x0, y0, x1, y1);
+            let t = r.translate(Point::new(dx, dy));
+            prop_assert_eq!(r.width(), t.width());
+            prop_assert_eq!(r.height(), t.height());
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! The mutable routing-resource grid.
+
+use crate::{Edge, GridConfig};
+use crp_geom::{Axis, Dbu, Point, Rect};
+use crp_netlist::Design;
+use serde::{Deserialize, Serialize};
+
+/// The 3D routing-resource grid: capacities, wire/fixed usage, via counts,
+/// and the Eq. 9/10 demand and cost queries built on them.
+///
+/// One instance is shared by the global router, the CR&P candidate pricer,
+/// and the detailed-routing proxy. All mutation is explicit
+/// ([`add_wire`](RouteGrid::add_wire) / [`remove_wire`](RouteGrid::remove_wire) /
+/// [`add_via`](RouteGrid::add_via) / [`remove_via`](RouteGrid::remove_via)),
+/// so rip-up-and-reroute is exact bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteGrid {
+    nx: u16,
+    ny: u16,
+    nl: u16,
+    origin: Point,
+    config: GridConfig,
+    axes: Vec<Axis>,
+    /// Planar edge capacity, indexed `(layer * ny + y) * nx + x`.
+    cap: Vec<f64>,
+    /// Routed wire usage `U_w`.
+    wire: Vec<f64>,
+    /// Fixed-component usage `U_f` (blockages, fixed nets).
+    fixed: Vec<f64>,
+    /// Via endpoints per (layer, gcell) — the `V` of `δ_e`.
+    vias: Vec<f64>,
+}
+
+/// A per-gcell congestion summary used by reports and the workload tuner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionSnapshot {
+    /// Grid dimensions `(nx, ny)`.
+    pub dims: (u16, u16),
+    /// Maximum demand/capacity ratio over each gcell's incident edges,
+    /// row-major (`y * nx + x`).
+    pub ratio: Vec<f32>,
+    /// Total overflow `Σ max(0, D_e − C_e)` over all planar edges.
+    pub total_overflow: f64,
+    /// Number of planar edges with positive overflow.
+    pub overflowed_edges: usize,
+}
+
+impl RouteGrid {
+    /// Builds the grid for `design`: derives dimensions from the die area,
+    /// capacities from each layer's track pitch, and fixed usage from the
+    /// design's blockages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has an empty die or no routing layers.
+    #[must_use]
+    pub fn new(design: &Design, config: GridConfig) -> RouteGrid {
+        assert!(!design.die.is_empty(), "design die area is empty");
+        assert!(!design.layers.is_empty(), "design has no routing layers");
+        let g = config.gcell_size;
+        assert!(g > 0, "gcell size must be positive");
+        let nx = u16::try_from((design.die.width() + g - 1) / g).expect("grid too wide");
+        let ny = u16::try_from((design.die.height() + g - 1) / g).expect("grid too tall");
+        let nl = u16::try_from(design.layers.len()).expect("too many layers");
+        let n = usize::from(nx) * usize::from(ny) * usize::from(nl);
+
+        let axes: Vec<Axis> = design.layers.iter().map(|l| l.axis).collect();
+        let mut grid = RouteGrid {
+            nx,
+            ny,
+            nl,
+            origin: design.die.lo,
+            config,
+            axes,
+            cap: vec![0.0; n],
+            wire: vec![0.0; n],
+            fixed: vec![0.0; n],
+            vias: vec![0.0; n],
+        };
+
+        for layer in 0..nl {
+            if layer < config.min_routing_layer {
+                continue;
+            }
+            let tracks = f64::from(design.layers[usize::from(layer)].tracks_in(g));
+            for y in 0..ny {
+                for x in 0..nx {
+                    if grid.planar_edge_exists(layer, x, y) {
+                        let i = grid.idx(layer, x, y);
+                        grid.cap[i] = tracks;
+                    }
+                }
+            }
+        }
+
+        for blockage in &design.blockages {
+            grid.block(design, *blockage);
+        }
+
+        grid
+    }
+
+    /// Grid dimensions `(nx, ny, layers)`.
+    #[must_use]
+    pub fn dims(&self) -> (u16, u16, u16) {
+        (self.nx, self.ny, self.nl)
+    }
+
+    /// The configuration this grid was built with.
+    #[must_use]
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// The preferred axis of `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn axis(&self, layer: u16) -> Axis {
+        self.axes[usize::from(layer)]
+    }
+
+    /// Whether signal routing may use `layer`.
+    #[must_use]
+    pub fn is_routable(&self, layer: u16) -> bool {
+        layer >= self.config.min_routing_layer && layer < self.nl
+    }
+
+    /// The gcell containing `p`, clamped to the grid.
+    #[must_use]
+    pub fn gcell_of(&self, p: Point) -> (u16, u16) {
+        let g = self.config.gcell_size;
+        let cx = ((p.x - self.origin.x) / g).clamp(0, i64::from(self.nx) - 1);
+        let cy = ((p.y - self.origin.y) / g).clamp(0, i64::from(self.ny) - 1);
+        (cx as u16, cy as u16)
+    }
+
+    /// The center point of gcell `(x, y)`.
+    #[must_use]
+    pub fn gcell_center(&self, x: u16, y: u16) -> Point {
+        let g = self.config.gcell_size;
+        Point::new(
+            self.origin.x + i64::from(x) * g + g / 2,
+            self.origin.y + i64::from(y) * g + g / 2,
+        )
+    }
+
+    /// The footprint of gcell `(x, y)`.
+    #[must_use]
+    pub fn gcell_rect(&self, x: u16, y: u16) -> Rect {
+        let g = self.config.gcell_size;
+        Rect::with_size(
+            Point::new(self.origin.x + i64::from(x) * g, self.origin.y + i64::from(y) * g),
+            g,
+            g,
+        )
+    }
+
+    fn idx(&self, layer: u16, x: u16, y: u16) -> usize {
+        (usize::from(layer) * usize::from(self.ny) + usize::from(y)) * usize::from(self.nx)
+            + usize::from(x)
+    }
+
+    /// Whether a planar edge leaves gcell `(x, y)` on `layer` in the
+    /// preferred direction without leaving the grid.
+    #[must_use]
+    pub fn planar_edge_exists(&self, layer: u16, x: u16, y: u16) -> bool {
+        if layer >= self.nl || x >= self.nx || y >= self.ny {
+            return false;
+        }
+        match self.axis(layer) {
+            Axis::X => x + 1 < self.nx,
+            Axis::Y => y + 1 < self.ny,
+        }
+    }
+
+    /// Whether `edge` denotes a real edge of this grid.
+    #[must_use]
+    pub fn edge_exists(&self, edge: Edge) -> bool {
+        match edge {
+            Edge::Planar { layer, x, y } => self.planar_edge_exists(layer, x, y),
+            Edge::Via { x, y, lower } => x < self.nx && y < self.ny && lower + 1 < self.nl,
+        }
+    }
+
+    /// Capacity `C_e` of a planar edge (0 for via edges' planar capacity;
+    /// via edges use [`GridConfig::via_capacity`]).
+    #[must_use]
+    pub fn capacity(&self, edge: Edge) -> f64 {
+        match edge {
+            Edge::Planar { layer, x, y } => self.cap[self.idx(layer, x, y)],
+            Edge::Via { .. } => self.config.via_capacity,
+        }
+    }
+
+    /// Current routed wire usage `U_w` of a planar edge.
+    #[must_use]
+    pub fn wire_usage(&self, edge: Edge) -> f64 {
+        match edge {
+            Edge::Planar { layer, x, y } => self.wire[self.idx(layer, x, y)],
+            Edge::Via { .. } => 0.0,
+        }
+    }
+
+    /// Fixed usage `U_f` of a planar edge.
+    #[must_use]
+    pub fn fixed_usage(&self, edge: Edge) -> f64 {
+        match edge {
+            Edge::Planar { layer, x, y } => self.fixed[self.idx(layer, x, y)],
+            Edge::Via { .. } => 0.0,
+        }
+    }
+
+    /// Via count at gcell `(x, y)` on `layer` — the `V` of `δ_e`.
+    #[must_use]
+    pub fn via_count(&self, layer: u16, x: u16, y: u16) -> f64 {
+        self.vias[self.idx(layer, x, y)]
+    }
+
+    /// Demand `D_e` (Eq. 9).
+    ///
+    /// For planar edges: `U_w + U_f + β·sqrt((V_src + V_dst)/2)` with the
+    /// via counts taken at the edge's two endpoint gcells on its layer.
+    /// For via edges: the mean via count of the two endpoint layers at the
+    /// gcell, so stacking vias through a crowded gcell is discouraged.
+    #[must_use]
+    pub fn demand(&self, edge: Edge) -> f64 {
+        match edge {
+            Edge::Planar { layer, x, y } => {
+                let i = self.idx(layer, x, y);
+                let (a, b) = edge.endpoints(|l| self.axes[usize::from(l)]);
+                let va = self.via_count(layer, a.x, a.y);
+                let vb = self.via_count(layer, b.x, b.y);
+                let delta = ((va + vb) / 2.0).sqrt();
+                self.wire[i] + self.fixed[i] + self.config.beta * delta
+            }
+            Edge::Via { x, y, lower } => {
+                (self.via_count(lower, x, y) + self.via_count(lower + 1, x, y)) / 2.0
+            }
+        }
+    }
+
+    /// Congestion penalty of `edge` (the logistic of Eq. 10).
+    #[must_use]
+    pub fn penalty(&self, edge: Edge) -> f64 {
+        self.config.penalty(self.demand(edge), self.capacity(edge))
+    }
+
+    /// Edge cost (Eq. 10): `Unit_e × Dist(e) × (1 + penalty(e))`.
+    ///
+    /// `Dist` is one gcell for planar edges and 1 for via edges. Edges on
+    /// non-routable layers cost `f64::INFINITY`.
+    #[must_use]
+    pub fn cost(&self, edge: Edge) -> f64 {
+        let unit = match edge {
+            Edge::Planar { layer, .. } => {
+                if !self.is_routable(layer) {
+                    return f64::INFINITY;
+                }
+                self.config.wire_unit
+            }
+            Edge::Via { .. } => self.config.via_unit,
+        };
+        unit * (1.0 + self.penalty(edge))
+    }
+
+    /// Edge cost (Eq. 10) evaluated at a hypothetically adjusted demand
+    /// `D_e + demand_delta` (clamped at 0).
+    ///
+    /// CR&P's candidate pricing uses this to discount a net's **own**
+    /// contribution to the demand of edges it currently occupies —
+    /// otherwise staying put is systematically over-priced relative to
+    /// moving away, and the flow churns.
+    #[must_use]
+    pub fn cost_adjusted(&self, edge: Edge, demand_delta: f64) -> f64 {
+        let unit = match edge {
+            Edge::Planar { layer, .. } => {
+                if !self.is_routable(layer) {
+                    return f64::INFINITY;
+                }
+                self.config.wire_unit
+            }
+            Edge::Via { .. } => self.config.via_unit,
+        };
+        let d = (self.demand(edge) + demand_delta).max(0.0);
+        unit * (1.0 + self.config.penalty(d, self.capacity(edge)))
+    }
+
+    /// Overflow `max(0, D_e − C_e)` of a planar edge (0 for via edges).
+    #[must_use]
+    pub fn overflow(&self, edge: Edge) -> f64 {
+        match edge {
+            Edge::Planar { .. } => (self.demand(edge) - self.capacity(edge)).max(0.0),
+            Edge::Via { .. } => 0.0,
+        }
+    }
+
+    /// Adds one unit of routed wire to a planar edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not a planar edge of this grid.
+    pub fn add_wire(&mut self, edge: Edge) {
+        match edge {
+            Edge::Planar { layer, x, y } => {
+                debug_assert!(self.planar_edge_exists(layer, x, y), "no such edge {edge:?}");
+                let i = self.idx(layer, x, y);
+                self.wire[i] += 1.0;
+            }
+            Edge::Via { .. } => panic!("add_wire expects a planar edge"),
+        }
+    }
+
+    /// Removes one unit of routed wire from a planar edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not planar or its usage would go negative.
+    pub fn remove_wire(&mut self, edge: Edge) {
+        match edge {
+            Edge::Planar { layer, x, y } => {
+                let i = self.idx(layer, x, y);
+                assert!(self.wire[i] >= 1.0, "wire usage underflow on {edge:?}");
+                self.wire[i] -= 1.0;
+            }
+            Edge::Via { .. } => panic!("remove_wire expects a planar edge"),
+        }
+    }
+
+    /// Records a via at `(x, y)` between `lower` and `lower + 1`: both
+    /// endpoint layers' via counters at the gcell are incremented.
+    pub fn add_via(&mut self, x: u16, y: u16, lower: u16) {
+        debug_assert!(lower + 1 < self.nl, "via above top layer");
+        let a = self.idx(lower, x, y);
+        let b = self.idx(lower + 1, x, y);
+        self.vias[a] += 1.0;
+        self.vias[b] += 1.0;
+    }
+
+    /// Removes a via previously recorded with [`add_via`](RouteGrid::add_via).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counters would go negative.
+    pub fn remove_via(&mut self, x: u16, y: u16, lower: u16) {
+        let a = self.idx(lower, x, y);
+        let b = self.idx(lower + 1, x, y);
+        assert!(self.vias[a] >= 1.0 && self.vias[b] >= 1.0, "via count underflow");
+        self.vias[a] -= 1.0;
+        self.vias[b] -= 1.0;
+    }
+
+    /// Adds fixed usage for a blockage rectangle on the lower
+    /// [`GridConfig::blockage_layers`] layers.
+    fn block(&mut self, design: &Design, rect: Rect) {
+        let g = self.config.gcell_size;
+        let top = self.config.blockage_layers.min(self.nl);
+        for layer in self.config.min_routing_layer..top {
+            let info = &design.layers[usize::from(layer)];
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    if !self.planar_edge_exists(layer, x, y) {
+                        continue;
+                    }
+                    let cell = self.gcell_rect(x, y);
+                    // The edge's tracks cross the boundary between this
+                    // gcell and the next; a blockage obstructs the tracks
+                    // whose perpendicular span it covers, provided it
+                    // reaches the boundary line.
+                    let blocked = match self.axis(layer) {
+                        Axis::X => {
+                            let boundary_x = cell.hi.x.min(self.origin.x + i64::from(self.nx) * g);
+                            if rect.x_span().contains(boundary_x - 1) || rect.x_span().contains(boundary_x)
+                            {
+                                rect.y_span()
+                                    .intersection(&cell.y_span())
+                                    .map_or(0, |ov| info.tracks_in(ov.len()))
+                            } else {
+                                0
+                            }
+                        }
+                        Axis::Y => {
+                            let boundary_y = cell.hi.y;
+                            if rect.y_span().contains(boundary_y - 1) || rect.y_span().contains(boundary_y)
+                            {
+                                rect.x_span()
+                                    .intersection(&cell.x_span())
+                                    .map_or(0, |ov| info.tracks_in(ov.len()))
+                            } else {
+                                0
+                            }
+                        }
+                    };
+                    if blocked > 0 {
+                        let i = self.idx(layer, x, y);
+                        self.fixed[i] = (self.fixed[i] + f64::from(blocked)).min(self.cap[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates over every planar edge of the grid.
+    pub fn planar_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (self.config.min_routing_layer..self.nl).flat_map(move |layer| {
+            (0..self.ny).flat_map(move |y| {
+                (0..self.nx).filter_map(move |x| {
+                    self.planar_edge_exists(layer, x, y).then_some(Edge::planar(layer, x, y))
+                })
+            })
+        })
+    }
+
+    /// Total wirelength currently routed, in gcell units.
+    #[must_use]
+    pub fn total_wire_usage(&self) -> f64 {
+        self.wire.iter().sum()
+    }
+
+    /// Total via endpoints currently recorded (2 per via).
+    #[must_use]
+    pub fn total_via_endpoints(&self) -> f64 {
+        self.vias.iter().sum()
+    }
+
+    /// Gathers a congestion snapshot over all planar edges.
+    #[must_use]
+    pub fn congestion(&self) -> CongestionSnapshot {
+        let mut ratio = vec![0.0f32; usize::from(self.nx) * usize::from(self.ny)];
+        let mut total_overflow = 0.0;
+        let mut overflowed = 0;
+        for edge in self.planar_edges() {
+            let c = self.capacity(edge);
+            if c <= 0.0 {
+                continue;
+            }
+            let d = self.demand(edge);
+            let r = (d / c) as f32;
+            let of = (d - c).max(0.0);
+            if of > 0.0 {
+                total_overflow += of;
+                overflowed += 1;
+            }
+            let (a, b) = edge.endpoints(|l| self.axes[usize::from(l)]);
+            for g in [a, b] {
+                let i = usize::from(g.y) * usize::from(self.nx) + usize::from(g.x);
+                ratio[i] = ratio[i].max(r);
+            }
+        }
+        CongestionSnapshot {
+            dims: (self.nx, self.ny),
+            ratio,
+            total_overflow,
+            overflowed_edges: overflowed,
+        }
+    }
+
+    /// Serializes the congestion snapshot as CSV (`x,y,ratio`), for
+    /// external plotting of the congestion maps CR&P maintains.
+    #[must_use]
+    pub fn congestion_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let snap = self.congestion();
+        let (nx, _ny) = snap.dims;
+        let mut out = String::from("x,y,ratio\n");
+        for (i, r) in snap.ratio.iter().enumerate() {
+            let x = i % usize::from(nx);
+            let y = i / usize::from(nx);
+            let _ = writeln!(out, "{x},{y},{r:.4}");
+        }
+        out
+    }
+
+    /// Sum of Eq. 10 costs over a set of edges — the route cost
+    /// `cost_n^r` used throughout the paper.
+    #[must_use]
+    pub fn route_cost(&self, edges: &[Edge]) -> f64 {
+        edges.iter().map(|&e| self.cost(e)).sum()
+    }
+
+    /// The gcell-center Manhattan distance between two gcells, in DBU.
+    #[must_use]
+    pub fn center_distance(&self, a: (u16, u16), b: (u16, u16)) -> Dbu {
+        self.gcell_center(a.0, a.1).manhattan(self.gcell_center(b.0, b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netlist::{DesignBuilder, MacroCell};
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("g", 1000);
+        b.site(200, 2000);
+        let _ = b.add_macro(MacroCell::new("M", 200, 2000));
+        // 30 rows (2000 DBU tall) of 300 sites: die 60_000 x 60_000 -> 20x20 gcells @3000.
+        b.add_rows(30, 300, Point::new(0, 0));
+        b.build()
+    }
+
+    fn grid() -> RouteGrid {
+        RouteGrid::new(&design(), GridConfig::default())
+    }
+
+    #[test]
+    fn dims_derived_from_die() {
+        let g = grid();
+        assert_eq!(g.dims(), (20, 20, 9));
+    }
+
+    #[test]
+    fn m1_is_not_routable() {
+        let g = grid();
+        assert!(!g.is_routable(0));
+        assert!(g.is_routable(1));
+        assert!(!g.is_routable(9));
+        assert_eq!(g.cost(Edge::planar(0, 0, 0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn capacity_matches_track_pitch() {
+        let g = grid();
+        // M2 pitch 200, gcell 3000 -> 15 tracks.
+        assert_eq!(g.capacity(Edge::planar(1, 0, 0)), 15.0);
+        // M7+ pitch 400 -> 7 tracks.
+        assert_eq!(g.capacity(Edge::planar(7, 0, 0)), 7.0);
+    }
+
+    #[test]
+    fn gcell_of_and_center_roundtrip() {
+        let g = grid();
+        let (x, y) = g.gcell_of(Point::new(4500, 7500));
+        assert_eq!((x, y), (1, 2));
+        assert_eq!(g.gcell_center(1, 2), Point::new(4500, 7500));
+        // Clamped outside the die.
+        assert_eq!(g.gcell_of(Point::new(-10, 999_999)), (0, 19));
+    }
+
+    #[test]
+    fn wire_usage_raises_demand_and_cost() {
+        let mut g = grid();
+        let e = Edge::planar(1, 5, 5);
+        let d0 = g.demand(e);
+        let c0 = g.cost(e);
+        for _ in 0..10 {
+            g.add_wire(e);
+        }
+        assert_eq!(g.demand(e), d0 + 10.0);
+        assert!(g.cost(e) > c0);
+        for _ in 0..10 {
+            g.remove_wire(e);
+        }
+        assert_eq!(g.demand(e), d0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn wire_underflow_panics() {
+        let mut g = grid();
+        g.remove_wire(Edge::planar(1, 0, 0));
+    }
+
+    #[test]
+    fn vias_contribute_beta_delta_to_planar_demand() {
+        let mut g = grid();
+        let e = Edge::planar(1, 5, 5); // M2 X? M2 axis is X (layer 1). Endpoints (5,5),(6,5).
+        let d0 = g.demand(e);
+        g.add_via(5, 5, 1); // via endpoint on layer 1 at (5,5)
+        g.add_via(5, 5, 1);
+        // V_src = 2, V_dst = 0 -> delta = sqrt(1) = 1 -> demand +beta*1.
+        assert!((g.demand(e) - (d0 + 1.5)).abs() < 1e-9);
+        g.remove_via(5, 5, 1);
+        g.remove_via(5, 5, 1);
+        assert!((g.demand(e) - d0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn via_edge_cost_tracks_local_via_pressure() {
+        let mut g = grid();
+        let e = Edge::via(3, 3, 2);
+        let c0 = g.cost(e);
+        for _ in 0..40 {
+            g.add_via(3, 3, 2);
+        }
+        assert!(g.cost(e) > c0);
+    }
+
+    #[test]
+    fn blockage_consumes_capacity() {
+        let mut d = design();
+        // Blockage covering the boundary between gcells (0,0) and (1,0) on x.
+        d.blockages.push(Rect::with_size(Point::new(2000, 0), 2000, 3000));
+        let g = RouteGrid::new(&d, GridConfig::default());
+        let e = Edge::planar(1, 0, 0); // M2 horizontal wires
+        assert!(g.fixed_usage(e) > 0.0);
+        // M5 (layer 4) is above blockage_layers=4 -> untouched.
+        assert_eq!(g.fixed_usage(Edge::planar(5, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn congestion_snapshot_counts_overflow() {
+        let mut g = grid();
+        let e = Edge::planar(1, 2, 2);
+        let cap = g.capacity(e);
+        for _ in 0..(cap as usize + 5) {
+            g.add_wire(e);
+        }
+        let snap = g.congestion();
+        assert!(snap.total_overflow >= 5.0);
+        assert_eq!(snap.overflowed_edges, 1);
+        let i = 2 * usize::from(snap.dims.0) + 2;
+        assert!(snap.ratio[i] > 1.0);
+    }
+
+    #[test]
+    fn congestion_csv_has_header_and_rows() {
+        let g = grid();
+        let csv = g.congestion_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,y,ratio"));
+        assert_eq!(csv.lines().count(), 1 + 20 * 20);
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row.split(',').count(), 3);
+    }
+
+    #[test]
+    fn cost_adjusted_matches_cost_at_zero_delta() {
+        let mut g = grid();
+        let e = Edge::planar(1, 4, 4);
+        for _ in 0..7 {
+            g.add_wire(e);
+        }
+        assert!((g.cost_adjusted(e, 0.0) - g.cost(e)).abs() < 1e-12);
+        // Negative delta lowers the cost (less demand seen).
+        assert!(g.cost_adjusted(e, -7.0) < g.cost(e));
+        // Demand clamps at zero: over-discounting saturates.
+        assert!((g.cost_adjusted(e, -100.0) - g.cost_adjusted(e, -1000.0)).abs() < 1e-12);
+        // Non-routable layers stay infinite.
+        assert_eq!(g.cost_adjusted(Edge::planar(0, 0, 0), -5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn route_cost_sums_edges() {
+        let g = grid();
+        let edges = [Edge::planar(1, 0, 0), Edge::via(0, 0, 1)];
+        let sum = g.route_cost(&edges);
+        assert!((sum - (g.cost(edges[0]) + g.cost(edges[1]))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_edges_iterator_respects_bounds() {
+        let g = grid();
+        for e in g.planar_edges() {
+            assert!(g.edge_exists(e));
+            let (a, b) = e.endpoints(|l| g.axis(l));
+            assert!(b.x < 20 && b.y < 20);
+            assert!(a.x < 20 && a.y < 20);
+        }
+        // Horizontal layer M2: (nx-1)*ny edges; count a couple of layers.
+        let m2 = g.planar_edges().filter(|e| matches!(e, Edge::Planar { layer: 1, .. })).count();
+        assert_eq!(m2, 19 * 20);
+        let m3 = g.planar_edges().filter(|e| matches!(e, Edge::Planar { layer: 2, .. })).count();
+        assert_eq!(m3, 20 * 19);
+    }
+}

@@ -1,0 +1,246 @@
+//! 3D GCell routing graph with the CR&P cost model.
+//!
+//! The routing space is partitioned into GCells; the 3D graph `G` has one
+//! node per `(x, y, layer)` and two kinds of edges:
+//!
+//! - **planar (wire) edges** along each layer's preferred axis,
+//! - **via edges** between vertically adjacent layers.
+//!
+//! Each planar edge carries the paper's demand model (Eq. 9):
+//!
+//! ```text
+//! D_e = U_w(e) + U_f(e) + β·δ_e,   δ_e = sqrt((V_src + V_dst) / 2)
+//! ```
+//!
+//! and the cost model (Eq. 10):
+//!
+//! ```text
+//! cost_e = Unit_e × Dist(e) × (1 + penalty(e))
+//! penalty(e) = 1 / (1 + exp(−S·(D_e − C_e)))
+//! ```
+//!
+//! **Note on the penalty sign.** The paper prints
+//! `penalty(e) = 1/(1+exp(S·(D_e−C_e)))`, which *decreases* as demand
+//! exceeds capacity — the opposite of a congestion penalty and of the
+//! NTHU-Route 2.0 logistic it cites. We implement the evidently intended
+//! sign (`−S`), so penalty → 1 as the edge overflows and → 0 when idle,
+//! matching the paper's prose ("increasing S will cause faster overflow").
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_grid::{GridConfig, RouteGrid, Edge};
+//! # use crp_netlist::{DesignBuilder, MacroCell};
+//! # use crp_geom::Point;
+//! # let mut b = DesignBuilder::new("d", 1000);
+//! # b.site(200, 2000);
+//! # b.add_rows(10, 50, Point::new(0, 0));
+//! # let design = b.build();
+//! let mut grid = RouteGrid::new(&design, GridConfig::default());
+//! let e = Edge::planar(1, 0, 0);
+//! let idle = grid.cost(e);
+//! for _ in 0..64 { grid.add_wire(e); }
+//! assert!(grid.cost(e) > idle); // congestion raises cost
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+
+pub use grid::{CongestionSnapshot, RouteGrid};
+
+use crp_geom::Axis;
+use serde::{Deserialize, Serialize};
+
+/// A GCell coordinate in the 3D routing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gcell {
+    /// Column index.
+    pub x: u16,
+    /// Row index.
+    pub y: u16,
+    /// Layer index (0 = lowest).
+    pub layer: u16,
+}
+
+impl Gcell {
+    /// Creates a GCell coordinate.
+    #[must_use]
+    pub const fn new(x: u16, y: u16, layer: u16) -> Gcell {
+        Gcell { x, y, layer }
+    }
+
+    /// The planar projection `(x, y)`.
+    #[must_use]
+    pub fn xy(self) -> (u16, u16) {
+        (self.x, self.y)
+    }
+
+    /// Manhattan distance in gcell units, ignoring layers.
+    #[must_use]
+    pub fn planar_distance(self, other: Gcell) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl std::fmt::Display for Gcell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g({},{},M{})", self.x, self.y, self.layer + 1)
+    }
+}
+
+/// An edge of the 3D GCell graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Edge {
+    /// A wire edge from gcell `(x, y)` to the next gcell along `layer`'s
+    /// preferred axis (`x+1` on horizontal layers, `y+1` on vertical ones).
+    Planar {
+        /// Layer index.
+        layer: u16,
+        /// Source column.
+        x: u16,
+        /// Source row.
+        y: u16,
+    },
+    /// A via edge at `(x, y)` connecting `lower` to `lower + 1`.
+    Via {
+        /// Column.
+        x: u16,
+        /// Row.
+        y: u16,
+        /// Lower of the two connected layers.
+        lower: u16,
+    },
+}
+
+impl Edge {
+    /// Shorthand for a planar edge.
+    #[must_use]
+    pub const fn planar(layer: u16, x: u16, y: u16) -> Edge {
+        Edge::Planar { layer, x, y }
+    }
+
+    /// Shorthand for a via edge.
+    #[must_use]
+    pub const fn via(x: u16, y: u16, lower: u16) -> Edge {
+        Edge::Via { x, y, lower }
+    }
+
+    /// Whether this is a wire (planar) edge.
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        matches!(self, Edge::Planar { .. })
+    }
+
+    /// The two endpoints of the edge, given the axis of its layer.
+    #[must_use]
+    pub fn endpoints(self, axis_of: impl Fn(u16) -> Axis) -> (Gcell, Gcell) {
+        match self {
+            Edge::Planar { layer, x, y } => {
+                let a = Gcell::new(x, y, layer);
+                let b = match axis_of(layer) {
+                    Axis::X => Gcell::new(x + 1, y, layer),
+                    Axis::Y => Gcell::new(x, y + 1, layer),
+                };
+                (a, b)
+            }
+            Edge::Via { x, y, lower } => {
+                (Gcell::new(x, y, lower), Gcell::new(x, y, lower + 1))
+            }
+        }
+    }
+}
+
+/// Tunable parameters of the grid cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// GCell edge length in DBU (square gcells).
+    pub gcell_size: i64,
+    /// Logistic slope factor `S` of the penalty (Eq. 10).
+    pub slope: f64,
+    /// Via-estimate weight `β` of the demand (Eq. 9). Paper value: 1.5.
+    pub beta: f64,
+    /// Unit cost of one gcell of wire. ISPD-2018 weight: 0.5.
+    pub wire_unit: f64,
+    /// Unit cost of one via. ISPD-2018 weight: 2.0 (4× the wire unit).
+    pub via_unit: f64,
+    /// Lowest layer signal routing may use (M1 = 0 is reserved for pins).
+    pub min_routing_layer: u16,
+    /// Number of vias a gcell can host per layer before via edges start to
+    /// be penalized.
+    pub via_capacity: f64,
+    /// Number of layers placement blockages obstruct, counted from M1.
+    pub blockage_layers: u16,
+}
+
+impl Default for GridConfig {
+    fn default() -> GridConfig {
+        GridConfig {
+            gcell_size: 3000,
+            slope: 1.0,
+            beta: 1.5,
+            wire_unit: 0.5,
+            via_unit: 2.0,
+            min_routing_layer: 1,
+            via_capacity: 16.0,
+            blockage_layers: 4,
+        }
+    }
+}
+
+impl GridConfig {
+    /// The logistic congestion penalty for demand `d` against capacity `c`.
+    ///
+    /// Ranges over `(0, 1)`; 0.5 exactly at `d == c`.
+    #[must_use]
+    pub fn penalty(&self, d: f64, c: f64) -> f64 {
+        1.0 / (1.0 + (-self.slope * (d - c)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_is_monotone_and_bounded() {
+        let cfg = GridConfig::default();
+        let mut last = 0.0;
+        for d in 0..40 {
+            let p = cfg.penalty(f64::from(d), 20.0);
+            assert!(p > 0.0 && p < 1.0);
+            assert!(p >= last, "penalty must not decrease with demand");
+            last = p;
+        }
+        assert!((cfg.penalty(20.0, 20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steeper_slope_sharpens_transition() {
+        let mut a = GridConfig::default();
+        a.slope = 0.5;
+        let mut b = GridConfig::default();
+        b.slope = 4.0;
+        // Below capacity the steep slope gives a smaller penalty...
+        assert!(b.penalty(15.0, 20.0) < a.penalty(15.0, 20.0));
+        // ...and above capacity a larger one.
+        assert!(b.penalty(25.0, 20.0) > a.penalty(25.0, 20.0));
+    }
+
+    #[test]
+    fn edge_endpoints() {
+        let axis = |l: u16| if l % 2 == 0 { Axis::Y } else { Axis::X };
+        let (a, b) = Edge::planar(1, 3, 4).endpoints(axis);
+        assert_eq!((a, b), (Gcell::new(3, 4, 1), Gcell::new(4, 4, 1)));
+        let (a, b) = Edge::planar(2, 3, 4).endpoints(axis);
+        assert_eq!((a, b), (Gcell::new(3, 4, 2), Gcell::new(3, 5, 2)));
+        let (a, b) = Edge::via(1, 2, 3).endpoints(axis);
+        assert_eq!((a, b), (Gcell::new(1, 2, 3), Gcell::new(1, 2, 4)));
+    }
+
+    #[test]
+    fn gcell_planar_distance() {
+        assert_eq!(Gcell::new(0, 0, 0).planar_distance(Gcell::new(3, 4, 7)), 7);
+    }
+}

@@ -1,0 +1,444 @@
+//! DEF (placed design) writing and parsing.
+
+use crate::lef::Tech;
+use crate::lexer::{Lexer, ParseError};
+use crp_geom::{Orientation, Point, Rect};
+use crp_netlist::{Design, DesignBuilder, MacroId, PinOwner};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes `design` as DEF text (components, rows, I/O pins, nets).
+#[must_use]
+pub fn write_def(design: &Design) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {} ;", design.name);
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {} ;", design.dbu_per_micron);
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        design.die.lo.x, design.die.lo.y, design.die.hi.x, design.die.hi.y
+    );
+    for (i, row) in design.rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "ROW row_{i} core {} {} {} DO {} BY 1 STEP {} 0 ;",
+            row.origin.x, row.origin.y, row.orient, row.num_sites, design.site.width
+        );
+    }
+    let _ = writeln!(out, "COMPONENTS {} ;", design.num_cells());
+    for (_, cell) in design.cells() {
+        let fixed = if cell.fixed { "FIXED" } else { "PLACED" };
+        let _ = writeln!(
+            out,
+            "- {} {} + {fixed} ( {} {} ) {} ;",
+            cell.name,
+            design.macros[cell.macro_id.index()].name,
+            cell.pos.x,
+            cell.pos.y,
+            cell.orient
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+
+    // I/O pins.
+    let io_pins: Vec<(usize, &crp_netlist::Pin)> = design
+        .nets()
+        .flat_map(|(_, n)| n.pins.iter())
+        .map(|&p| (p.index(), design.pin(p)))
+        .filter(|(_, p)| matches!(p.owner, PinOwner::Io { .. }))
+        .collect();
+    let _ = writeln!(out, "PINS {} ;", io_pins.len());
+    for (idx, pin) in &io_pins {
+        if let PinOwner::Io { pos, layer } = pin.owner {
+            let _ = writeln!(
+                out,
+                "- io_{idx} + NET {} + LAYER {} + PLACED ( {} {} ) N ;",
+                design.net(pin.net).name,
+                design.layers.get(layer).map_or("M1", |l| l.name.as_str()),
+                pos.x,
+                pos.y
+            );
+        }
+    }
+    let _ = writeln!(out, "END PINS");
+
+    let _ = writeln!(out, "NETS {} ;", design.num_nets());
+    for (_, net) in design.nets() {
+        let _ = write!(out, "- {}", net.name);
+        for &p in &net.pins {
+            match design.pin(p).owner {
+                PinOwner::Cell { cell, macro_pin } => {
+                    let c = design.cell(cell);
+                    let m = &design.macros[c.macro_id.index()];
+                    let _ = write!(out, " ( {} {} )", c.name, m.pins[macro_pin].name);
+                }
+                PinOwner::Io { .. } => {
+                    let _ = write!(out, " ( PIN io_{} )", p.index());
+                }
+            }
+        }
+        let _ = writeln!(out, " ;");
+    }
+    let _ = writeln!(out, "END NETS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+/// Parses the DEF subset written by [`write_def`] against a technology.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, unknown macros, or
+/// references to undeclared components.
+pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
+    let mut lx = Lexer::new(text);
+    let mut builder: Option<DesignBuilder> = None;
+    let mut die: Option<Rect> = None;
+    let mut cell_by_name: HashMap<String, crp_netlist::CellId> = HashMap::new();
+    let mut io_by_name: HashMap<String, (Point, usize, String)> = HashMap::new();
+    let mut fixed_cells: Vec<crp_netlist::CellId> = Vec::new();
+    let macro_by_name: HashMap<&str, MacroId> = tech
+        .macros
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.as_str(), MacroId::from_index(i)))
+        .collect();
+
+    let get_builder = |b: &mut Option<DesignBuilder>, line: usize| -> Result<(), ParseError> {
+        if b.is_none() {
+            return Err(ParseError::new(line, "statement before DESIGN"));
+        }
+        Ok(())
+    };
+
+    while let Some(tok) = lx.next() {
+        match tok {
+            "VERSION" => lx.skip_statement(),
+            "DESIGN" => {
+                let name = lx.ident()?.to_owned();
+                lx.expect(";")?;
+                let mut b = DesignBuilder::new(name, tech.dbu_per_micron);
+                b.site(tech.site.width, tech.site.height);
+                b.layers(tech.layers.clone());
+                for m in &tech.macros {
+                    b.add_macro(m.clone());
+                }
+                builder = Some(b);
+            }
+            "UNITS" => lx.skip_statement(),
+            "DIEAREA" => {
+                lx.expect("(")?;
+                let x0 = lx.int()?;
+                let y0 = lx.int()?;
+                lx.expect(")")?;
+                lx.expect("(")?;
+                let x1 = lx.int()?;
+                let y1 = lx.int()?;
+                lx.expect(")")?;
+                lx.expect(";")?;
+                die = Some(Rect::new(Point::new(x0, y0), Point::new(x1, y1)));
+            }
+            "ROW" => {
+                get_builder(&mut builder, lx.line())?;
+                let _name = lx.ident()?;
+                let _site = lx.ident()?;
+                let x = lx.int()?;
+                let y = lx.int()?;
+                let orient: Orientation = lx
+                    .ident()?
+                    .parse()
+                    .map_err(|e| ParseError::new(lx.line(), format!("{e}")))?;
+                lx.expect("DO")?;
+                let sites = lx.int()?;
+                lx.expect("BY")?;
+                lx.int()?;
+                lx.expect("STEP")?;
+                lx.int()?;
+                lx.int()?;
+                lx.expect(";")?;
+                let b = builder.as_mut().expect("checked above");
+                // add_rows alternates automatically; add one row manually to
+                // honour the file's explicit orientation.
+                b.add_row_exact(
+                    Point::new(x, y),
+                    u32::try_from(sites)
+                        .map_err(|_| ParseError::new(lx.line(), "negative site count"))?,
+                    orient,
+                );
+            }
+            "COMPONENTS" => {
+                get_builder(&mut builder, lx.line())?;
+                lx.int()?;
+                lx.expect(";")?;
+                let b = builder.as_mut().expect("checked above");
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            lx.expect("COMPONENTS")?;
+                            break;
+                        }
+                        "-" => {
+                            let cname = lx.ident()?.to_owned();
+                            let mname = lx.ident()?;
+                            let macro_id = *macro_by_name.get(mname).ok_or_else(|| {
+                                ParseError::new(lx.line(), format!("unknown macro `{mname}`"))
+                            })?;
+                            lx.expect("+")?;
+                            let place_kind = lx.ident()?;
+                            let fixed = match place_kind {
+                                "PLACED" => false,
+                                "FIXED" => true,
+                                other => {
+                                    return Err(ParseError::new(
+                                        lx.line(),
+                                        format!("unknown placement `{other}`"),
+                                    ))
+                                }
+                            };
+                            lx.expect("(")?;
+                            let x = lx.int()?;
+                            let y = lx.int()?;
+                            lx.expect(")")?;
+                            let orient: Orientation = lx
+                                .ident()?
+                                .parse()
+                                .map_err(|e| ParseError::new(lx.line(), format!("{e}")))?;
+                            lx.expect(";")?;
+                            let id = b.add_cell_oriented(&cname, macro_id, Point::new(x, y), orient);
+                            if fixed {
+                                fixed_cells.push(id);
+                            }
+                            cell_by_name.insert(cname, id);
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in COMPONENTS"),
+                            ))
+                        }
+                    }
+                }
+            }
+            "PINS" => {
+                lx.int()?;
+                lx.expect(";")?;
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            lx.expect("PINS")?;
+                            break;
+                        }
+                        "-" => {
+                            let pname = lx.ident()?.to_owned();
+                            lx.expect("+")?;
+                            lx.expect("NET")?;
+                            let net_name = lx.ident()?.to_owned();
+                            lx.expect("+")?;
+                            lx.expect("LAYER")?;
+                            let lname = lx.ident()?;
+                            let layer =
+                                tech.layers.iter().position(|l| l.name == lname).unwrap_or(0);
+                            lx.expect("+")?;
+                            lx.expect("PLACED")?;
+                            lx.expect("(")?;
+                            let x = lx.int()?;
+                            let y = lx.int()?;
+                            lx.expect(")")?;
+                            lx.ident()?; // orientation
+                            lx.expect(";")?;
+                            io_by_name.insert(pname, (Point::new(x, y), layer, net_name));
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in PINS"),
+                            ))
+                        }
+                    }
+                }
+            }
+            "NETS" => {
+                get_builder(&mut builder, lx.line())?;
+                lx.int()?;
+                lx.expect(";")?;
+                let b = builder.as_mut().expect("checked above");
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            lx.expect("NETS")?;
+                            break;
+                        }
+                        "-" => {
+                            let nname = lx.ident()?.to_owned();
+                            let net = b.add_net(nname);
+                            loop {
+                                match lx.ident()? {
+                                    ";" => break,
+                                    "(" => {
+                                        let first = lx.ident()?;
+                                        if first == "PIN" {
+                                            let io_name = lx.ident()?;
+                                            lx.expect(")")?;
+                                            let (pos, layer) = io_by_name
+                                                .get(io_name)
+                                                .map(|e| (e.0, e.1))
+                                                .ok_or_else(|| {
+                                                    ParseError::new(
+                                                        lx.line(),
+                                                        format!("unknown I/O pin `{io_name}`"),
+                                                    )
+                                                })?;
+                                            b.connect_io(net, pos, layer);
+                                        } else {
+                                            let pin_name = lx.ident()?;
+                                            lx.expect(")")?;
+                                            let &cell =
+                                                cell_by_name.get(first).ok_or_else(|| {
+                                                    ParseError::new(
+                                                        lx.line(),
+                                                        format!("unknown component `{first}`"),
+                                                    )
+                                                })?;
+                                            b.connect(net, cell, pin_name);
+                                        }
+                                    }
+                                    other => {
+                                        return Err(ParseError::new(
+                                            lx.line(),
+                                            format!("unexpected `{other}` in net"),
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in NETS"),
+                            ))
+                        }
+                    }
+                }
+            }
+            "END" => {
+                lx.expect("DESIGN")?;
+                break;
+            }
+            other => {
+                return Err(ParseError::new(lx.line(), format!("unexpected `{other}` in DEF")))
+            }
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| ParseError::new(0, "missing DESIGN statement"))?;
+    if let Some(d) = die {
+        b.die(d);
+    }
+    for c in fixed_cells {
+        b.fix_cell(c);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lef::{parse_lef, write_lef};
+    use crp_netlist::MacroCell;
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("demo", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        b.add_rows(3, 50, Point::new(0, 0));
+        let c0 = b.add_cell("u0", m, Point::new(0, 0));
+        let c1 = b.add_cell("u1", m, Point::new(800, 2000));
+        b.fix_cell(c1);
+        let n0 = b.add_net("n0");
+        b.connect(n0, c0, "Y");
+        b.connect(n0, c1, "A");
+        let n1 = b.add_net("clk");
+        b.connect(n1, c0, "A");
+        b.connect_io(n1, Point::new(0, 500), 4);
+        b.build()
+    }
+
+    fn roundtrip(d: &Design) -> Design {
+        let tech = parse_lef(&write_lef(d)).unwrap();
+        parse_def(&write_def(d), &tech).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let d = design();
+        let r = roundtrip(&d);
+        assert_eq!(r.name, d.name);
+        assert_eq!(r.die, d.die);
+        assert_eq!(r.num_cells(), d.num_cells());
+        assert_eq!(r.num_nets(), d.num_nets());
+        assert_eq!(r.num_pins(), d.num_pins());
+        assert_eq!(r.rows.len(), d.rows.len());
+    }
+
+    #[test]
+    fn roundtrip_preserves_placement() {
+        let d = design();
+        let r = roundtrip(&d);
+        for (id, cell) in d.cells() {
+            let rc = r.cell(id);
+            assert_eq!(rc.pos, cell.pos, "cell {}", cell.name);
+            assert_eq!(rc.orient, cell.orient);
+            assert_eq!(rc.fixed, cell.fixed);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_connectivity_and_hpwl() {
+        let d = design();
+        let r = roundtrip(&d);
+        assert_eq!(crp_netlist::total_hpwl(&r), crp_netlist::total_hpwl(&d));
+        for (nid, net) in d.nets() {
+            assert_eq!(r.net(nid).name, net.name);
+            assert_eq!(r.net(nid).pins.len(), net.pins.len());
+        }
+    }
+
+    #[test]
+    fn io_pin_position_and_layer_survive() {
+        let d = design();
+        let r = roundtrip(&d);
+        let io = d
+            .nets()
+            .flat_map(|(_, n)| n.pins.iter())
+            .find(|&&p| matches!(d.pin(p).owner, PinOwner::Io { .. }))
+            .copied()
+            .unwrap();
+        assert_eq!(r.pin_position(io), d.pin_position(io));
+        assert_eq!(r.pin_layer(io), 4);
+    }
+
+    #[test]
+    fn unknown_macro_rejected() {
+        let d = design();
+        let def = write_def(&d);
+        let tech = Tech {
+            dbu_per_micron: 1000,
+            site: d.site,
+            layers: d.layers.clone(),
+            macros: vec![], // empty library
+        };
+        let err = parse_def(&def, &tech).unwrap_err();
+        assert!(err.to_string().contains("unknown macro"));
+    }
+
+    #[test]
+    fn missing_design_rejected() {
+        let tech = parse_lef(&write_lef(&design())).unwrap();
+        assert!(parse_def("VERSION 5.8 ;\n", &tech).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Route-guide emission (the ISPD-2018 `.guide` format).
+
+use crp_grid::RouteGrid;
+use crp_netlist::Design;
+use crp_router::Routing;
+use std::fmt::Write as _;
+
+/// Serializes `routing` in the ISPD-2018 guide format: for each net, one
+/// block of `x0 y0 x1 y1 layer` DBU rectangles — one per route segment
+/// (expanded to the covered gcells' footprint) and one per via stack layer.
+///
+/// This is the file CR&P hands to the detailed router in the paper's flow.
+///
+/// # Examples
+///
+/// ```
+/// # use crp_router::{GlobalRouter, RouterConfig};
+/// # use crp_grid::{GridConfig, RouteGrid};
+/// # use crp_netlist::{DesignBuilder, MacroCell};
+/// # use crp_geom::Point;
+/// # let mut b = DesignBuilder::new("d", 1000);
+/// # b.site(200, 2000);
+/// # let m = b.add_macro(MacroCell::new("INV", 400, 2000).with_pin("A", 100, 1000, 0));
+/// # b.add_rows(10, 100, Point::new(0, 0));
+/// # let c0 = b.add_cell("u0", m, Point::new(0, 0));
+/// # let c1 = b.add_cell("u1", m, Point::new(12_000, 8_000));
+/// # let n = b.add_net("n0");
+/// # b.connect(n, c0, "A");
+/// # b.connect(n, c1, "A");
+/// # let design = b.build();
+/// # let mut grid = RouteGrid::new(&design, GridConfig::default());
+/// # let routing = GlobalRouter::new(RouterConfig::default()).route_all(&design, &mut grid);
+/// let guides = crp_lefdef::write_guides(&design, &grid, &routing);
+/// assert!(guides.starts_with("n0\n(\n"));
+/// ```
+#[must_use]
+pub fn write_guides(design: &Design, grid: &RouteGrid, routing: &Routing) -> String {
+    let mut out = String::new();
+    let layer_name =
+        |l: u16| design.layers.get(usize::from(l)).map_or("M1", |li| li.name.as_str());
+    for (net_id, net) in design.nets() {
+        let route = routing.route(net_id);
+        let _ = writeln!(out, "{}\n(", net.name);
+        for seg in &route.segs {
+            let a = grid.gcell_rect(seg.from.0, seg.from.1);
+            let b = grid.gcell_rect(seg.to.0, seg.to.1);
+            let r = a.union(&b);
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {}",
+                r.lo.x,
+                r.lo.y,
+                r.hi.x,
+                r.hi.y,
+                layer_name(seg.layer)
+            );
+        }
+        for via in &route.vias {
+            let r = grid.gcell_rect(via.x, via.y);
+            for l in via.lo..=via.hi {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {} {}",
+                    r.lo.x,
+                    r.lo.y,
+                    r.hi.x,
+                    r.hi.y,
+                    layer_name(l)
+                );
+            }
+        }
+        let _ = writeln!(out, ")");
+    }
+    out
+}
+
+/// A parsed guide file: per net name, the DBU rectangles with layer names.
+pub type ParsedGuides = Vec<(String, Vec<(crp_geom::Rect, String)>)>;
+
+/// Parses the ISPD-2018 guide format written by [`write_guides`].
+///
+/// # Errors
+///
+/// Returns a [`crate::ParseError`] on malformed blocks or rectangle lines.
+pub fn parse_guides(text: &str) -> Result<ParsedGuides, crate::ParseError> {
+    use crp_geom::{Point, Rect};
+    let mut out: ParsedGuides = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((ln, name)) = lines.next() {
+        if name.trim().is_empty() {
+            continue;
+        }
+        let name = name.trim().to_owned();
+        match lines.next() {
+            Some((_, l)) if l.trim() == "(" => {}
+            _ => {
+                return Err(crate::ParseError {
+                    line: ln + 2,
+                    message: format!("expected `(` after net `{name}`"),
+                })
+            }
+        }
+        let mut rects = Vec::new();
+        loop {
+            let Some((rln, line)) = lines.next() else {
+                return Err(crate::ParseError {
+                    line: ln + 1,
+                    message: format!("unterminated guide block for `{name}`"),
+                });
+            };
+            if line.trim() == ")" {
+                break;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 5 {
+                return Err(crate::ParseError {
+                    line: rln + 1,
+                    message: format!("expected `x0 y0 x1 y1 layer`, got `{line}`"),
+                });
+            }
+            let num = |s: &str| -> Result<i64, crate::ParseError> {
+                s.parse().map_err(|_| crate::ParseError {
+                    line: rln + 1,
+                    message: format!("bad coordinate `{s}`"),
+                })
+            };
+            let rect = Rect::new(
+                Point::new(num(fields[0])?, num(fields[1])?),
+                Point::new(num(fields[2])?, num(fields[3])?),
+            );
+            rects.push((rect, fields[4].to_owned()));
+        }
+        out.push((name, rects));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_grid::GridConfig;
+    use crp_netlist::{DesignBuilder, MacroCell};
+    use crp_router::{GlobalRouter, RouterConfig};
+
+    fn flow() -> (Design, RouteGrid, Routing) {
+        let mut b = DesignBuilder::new("gw", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        b.add_rows(10, 100, Point::new(0, 0));
+        let c0 = b.add_cell("u0", m, Point::new(0, 0));
+        let c1 = b.add_cell("u1", m, Point::new(15_000, 12_000));
+        let n = b.add_net("n0");
+        b.connect(n, c0, "Y");
+        b.connect(n, c1, "A");
+        let d = b.build();
+        let mut grid = RouteGrid::new(&d, GridConfig::default());
+        let routing = GlobalRouter::new(RouterConfig::default()).route_all(&d, &mut grid);
+        (d, grid, routing)
+    }
+
+    #[test]
+    fn guide_block_per_net() {
+        let (d, grid, routing) = flow();
+        let g = write_guides(&d, &grid, &routing);
+        assert!(g.starts_with("n0\n(\n"));
+        assert!(g.trim_end().ends_with(')'));
+        // Each rect line has 5 fields and a known layer name.
+        for line in g.lines() {
+            if line.contains(' ') {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                assert_eq!(fields.len(), 5, "bad guide line: {line}");
+                assert!(fields[4].starts_with('M'));
+            }
+        }
+    }
+
+    #[test]
+    fn guide_roundtrip_parses_back() {
+        let (d, grid, routing) = flow();
+        let text = write_guides(&d, &grid, &routing);
+        let parsed = parse_guides(&text).unwrap();
+        assert_eq!(parsed.len(), d.num_nets());
+        assert_eq!(parsed[0].0, "n0");
+        // Every rect carries a known layer name and positive area.
+        for (_, rects) in &parsed {
+            for (r, layer) in rects {
+                assert!(layer.starts_with('M'));
+                assert!(r.area() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_guides_rejects_malformed() {
+        assert!(parse_guides("net_a\nnot_a_paren\n").is_err());
+        assert!(parse_guides("net_a\n(\n1 2 3\n)\n").is_err());
+        assert!(parse_guides("net_a\n(\n1 2 3 4 M2\n").is_err());
+        assert!(parse_guides("net_a\n(\nx 2 3 4 M2\n)\n").is_err());
+    }
+
+    #[test]
+    fn guides_cover_pin_gcells() {
+        let (d, grid, routing) = flow();
+        let g = write_guides(&d, &grid, &routing);
+        // Every pin's gcell rect must appear within some guide rect.
+        for (_, net) in d.nets() {
+            for &p in &net.pins {
+                let pos = d.pin_position(p);
+                let covered = g.lines().filter(|l| l.split_whitespace().count() == 5).any(|l| {
+                    let f: Vec<i64> =
+                        l.split_whitespace().take(4).map(|t| t.parse().unwrap()).collect();
+                    pos.x >= f[0] && pos.x < f[2] && pos.y >= f[1] && pos.y < f[3]
+                });
+                assert!(covered, "pin at {pos} not covered");
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! LEF (technology + macro library) writing and parsing.
+
+use crate::lexer::{Lexer, ParseError};
+use crp_geom::{Axis, Dbu};
+use crp_netlist::{Design, LayerInfo, MacroCell, SiteInfo};
+use std::fmt::Write as _;
+
+/// The technology data recovered from a LEF file: everything a DEF needs
+/// to be instantiated into a [`Design`](crp_netlist::Design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tech {
+    /// Database units per micron.
+    pub dbu_per_micron: u32,
+    /// The core placement site.
+    pub site: SiteInfo,
+    /// Routing layers, lowest first.
+    pub layers: Vec<LayerInfo>,
+    /// Macro library.
+    pub macros: Vec<MacroCell>,
+}
+
+fn microns(dbu: Dbu, dbu_per_micron: u32) -> f64 {
+    dbu as f64 / f64::from(dbu_per_micron)
+}
+
+/// Serializes the technology view of `design` as LEF text.
+#[must_use]
+pub fn write_lef(design: &Design) -> String {
+    let dbu = design.dbu_per_micron;
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(out, "DIVIDERCHAR \"/\" ;");
+    let _ = writeln!(out, "UNITS\n  DATABASE MICRONS {dbu} ;\nEND UNITS");
+    let _ = writeln!(
+        out,
+        "SITE core\n  CLASS CORE ;\n  SIZE {:.4} BY {:.4} ;\nEND core",
+        microns(design.site.width, dbu),
+        microns(design.site.height, dbu)
+    );
+    for layer in &design.layers {
+        let dir = match layer.axis {
+            Axis::X => "HORIZONTAL",
+            Axis::Y => "VERTICAL",
+        };
+        let _ = writeln!(
+            out,
+            "LAYER {name}\n  TYPE ROUTING ;\n  DIRECTION {dir} ;\n  PITCH {:.4} ;\n  WIDTH {:.4} ;\n  SPACING {:.4} ;\nEND {name}",
+            microns(layer.pitch, dbu),
+            microns(layer.min_width, dbu),
+            microns(layer.min_spacing, dbu),
+            name = layer.name,
+        );
+    }
+    for m in &design.macros {
+        let _ = writeln!(
+            out,
+            "MACRO {name}\n  CLASS CORE ;\n  SIZE {:.4} BY {:.4} ;",
+            microns(m.width, dbu),
+            microns(m.height, dbu),
+            name = m.name,
+        );
+        for pin in &m.pins {
+            let _ = writeln!(
+                out,
+                "  PIN {pname}\n    DIRECTION INOUT ;\n    PORT\n      LAYER {layer} ;\n      POINT {:.4} {:.4} ;\n    END\n  END {pname}",
+                microns(pin.offset.x, dbu),
+                microns(pin.offset.y, dbu),
+                layer = design.layers.get(pin.layer).map_or("M1", |l| l.name.as_str()),
+                pname = pin.name,
+            );
+        }
+        let _ = writeln!(out, "END {}", m.name);
+    }
+    let _ = writeln!(out, "END LIBRARY");
+    out
+}
+
+/// Parses the LEF subset written by [`write_lef`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+pub fn parse_lef(text: &str) -> Result<Tech, ParseError> {
+    let mut lx = Lexer::new(text);
+    let mut dbu_per_micron: u32 = 1000;
+    let mut site = SiteInfo::new(1, 1);
+    let mut layers: Vec<LayerInfo> = Vec::new();
+    let mut macros: Vec<MacroCell> = Vec::new();
+
+    let to_dbu =
+        |v: f64, dbu: u32| -> Dbu { (v * f64::from(dbu)).round() as Dbu };
+
+    while let Some(tok) = lx.next() {
+        match tok {
+            "VERSION" | "BUSBITCHARS" | "DIVIDERCHAR" => lx.skip_statement(),
+            "UNITS" => {
+                lx.expect("DATABASE")?;
+                lx.expect("MICRONS")?;
+                let v = lx.int()?;
+                dbu_per_micron = u32::try_from(v)
+                    .map_err(|_| ParseError::new(lx.line(), "invalid DATABASE MICRONS"))?;
+                lx.expect(";")?;
+                lx.expect("END")?;
+                lx.expect("UNITS")?;
+            }
+            "SITE" => {
+                let name = lx.ident()?;
+                let mut w = 0;
+                let mut h = 0;
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            let end_name = lx.ident()?;
+                            if end_name != name {
+                                return Err(ParseError::new(
+                                    lx.line(),
+                                    format!("SITE `{name}` closed by `{end_name}`"),
+                                ));
+                            }
+                            break;
+                        }
+                        "CLASS" => lx.skip_statement(),
+                        "SIZE" => {
+                            w = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect("BY")?;
+                            h = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect(";")?;
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in SITE"),
+                            ))
+                        }
+                    }
+                }
+                site = SiteInfo::new(w.max(1), h.max(1));
+            }
+            "LAYER" => {
+                let name = lx.ident()?.to_owned();
+                let mut axis = Axis::X;
+                let mut pitch = 1;
+                let mut width = 1;
+                let mut spacing = 1;
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            lx.ident()?; // layer name
+                            break;
+                        }
+                        "TYPE" => lx.skip_statement(),
+                        "DIRECTION" => {
+                            axis = match lx.ident()? {
+                                "HORIZONTAL" => Axis::X,
+                                "VERTICAL" => Axis::Y,
+                                other => {
+                                    return Err(ParseError::new(
+                                        lx.line(),
+                                        format!("unknown direction `{other}`"),
+                                    ))
+                                }
+                            };
+                            lx.expect(";")?;
+                        }
+                        "PITCH" => {
+                            pitch = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect(";")?;
+                        }
+                        "WIDTH" => {
+                            width = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect(";")?;
+                        }
+                        "SPACING" => {
+                            spacing = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect(";")?;
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in LAYER"),
+                            ))
+                        }
+                    }
+                }
+                layers.push(LayerInfo {
+                    name,
+                    axis,
+                    pitch,
+                    min_width: width,
+                    min_spacing: spacing,
+                    min_area: i128::from(2 * pitch) * i128::from(width),
+                });
+            }
+            "MACRO" => {
+                let name = lx.ident()?.to_owned();
+                let mut width = 1;
+                let mut height = 1;
+                let mut pins = Vec::new();
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            let end_name = lx.ident()?;
+                            if end_name != name {
+                                return Err(ParseError::new(
+                                    lx.line(),
+                                    format!("MACRO `{name}` closed by `{end_name}`"),
+                                ));
+                            }
+                            break;
+                        }
+                        "CLASS" => lx.skip_statement(),
+                        "SIZE" => {
+                            width = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect("BY")?;
+                            height = to_dbu(lx.float()?, dbu_per_micron);
+                            lx.expect(";")?;
+                        }
+                        "PIN" => {
+                            let pname = lx.ident()?.to_owned();
+                            let mut px = 0;
+                            let mut py = 0;
+                            let mut player = 0usize;
+                            loop {
+                                match lx.ident()? {
+                                    "END" => {
+                                        let nxt = lx.peek();
+                                        if nxt == Some(pname.as_str()) {
+                                            lx.next();
+                                            break;
+                                        }
+                                        // END of PORT block: continue.
+                                    }
+                                    "DIRECTION" => lx.skip_statement(),
+                                    "PORT" => {}
+                                    "LAYER" => {
+                                        let lname = lx.ident()?;
+                                        player = layers
+                                            .iter()
+                                            .position(|l| l.name == lname)
+                                            .unwrap_or(0);
+                                        lx.expect(";")?;
+                                    }
+                                    "POINT" => {
+                                        px = to_dbu(lx.float()?, dbu_per_micron);
+                                        py = to_dbu(lx.float()?, dbu_per_micron);
+                                        lx.expect(";")?;
+                                    }
+                                    other => {
+                                        return Err(ParseError::new(
+                                            lx.line(),
+                                            format!("unexpected `{other}` in PIN"),
+                                        ))
+                                    }
+                                }
+                            }
+                            pins.push((pname, px, py, player));
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in MACRO"),
+                            ))
+                        }
+                    }
+                }
+                let mut m = MacroCell::new(name, width.max(1), height.max(1));
+                for (pname, px, py, player) in pins {
+                    m = m.with_pin(pname, px, py, player);
+                }
+                macros.push(m);
+            }
+            "END" => {
+                // END LIBRARY
+                break;
+            }
+            other => {
+                return Err(ParseError::new(lx.line(), format!("unexpected `{other}` in LEF")))
+            }
+        }
+    }
+
+    Ok(Tech { dbu_per_micron, site, layers, macros })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_netlist::DesignBuilder;
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("t", 1000);
+        b.site(200, 2000);
+        let _ = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        let _ = b.add_macro(MacroCell::new("NAND2", 600, 2000).with_pin("A", 100, 1000, 0));
+        b.add_rows(2, 10, Point::new(0, 0));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_tech() {
+        let d = design();
+        let lef = write_lef(&d);
+        let tech = parse_lef(&lef).unwrap();
+        assert_eq!(tech.dbu_per_micron, 1000);
+        assert_eq!(tech.site, d.site);
+        assert_eq!(tech.layers.len(), d.layers.len());
+        for (a, b) in tech.layers.iter().zip(&d.layers) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.axis, b.axis);
+            assert_eq!(a.pitch, b.pitch);
+            assert_eq!(a.min_width, b.min_width);
+        }
+        assert_eq!(tech.macros.len(), 2);
+        assert_eq!(tech.macros[0], d.macros[0]);
+        assert_eq!(tech.macros[1].name, "NAND2");
+    }
+
+    #[test]
+    fn pin_layers_resolved_by_name() {
+        let mut b = DesignBuilder::new("t", 1000);
+        b.site(200, 2000);
+        let _ = b.add_macro(MacroCell::new("X", 200, 2000).with_pin("P", 50, 100, 3));
+        let d = b.build();
+        let tech = parse_lef(&write_lef(&d)).unwrap();
+        assert_eq!(tech.macros[0].pins[0].layer, 3);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line() {
+        let err = parse_lef("VERSION 5.8 ;\nBOGUS ;\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn empty_lef_parses_to_defaults() {
+        let tech = parse_lef("END LIBRARY\n").unwrap();
+        assert!(tech.macros.is_empty());
+        assert!(tech.layers.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! A whitespace tokenizer shared by the LEF and DEF parsers.
+
+use std::fmt;
+
+/// A parse failure with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A token stream over LEF/DEF text. `#` starts a comment to end-of-line.
+pub(crate) struct Lexer<'a> {
+    tokens: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(text: &'a str) -> Lexer<'a> {
+        let mut tokens = Vec::new();
+        for (i, raw_line) in text.lines().enumerate() {
+            let line = raw_line.split('#').next().unwrap_or("");
+            for tok in line.split_whitespace() {
+                tokens.push((i + 1, tok));
+            }
+        }
+        Lexer { tokens, pos: 0 }
+    }
+
+    pub(crate) fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |&(l, _)| l)
+    }
+
+    pub(crate) fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(|&(_, t)| t)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn expect(&mut self, want: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(ParseError::new(self.line(), format!("expected `{want}`, got `{t}`"))),
+            None => Err(ParseError::new(self.line(), format!("expected `{want}`, got end of file"))),
+        }
+    }
+
+    pub(crate) fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.next()
+            .ok_or_else(|| ParseError::new(self.line(), "expected identifier, got end of file"))
+    }
+
+    pub(crate) fn int(&mut self) -> Result<i64, ParseError> {
+        let line = self.line();
+        let t = self.ident()?;
+        t.parse()
+            .map_err(|_| ParseError::new(line, format!("expected integer, got `{t}`")))
+    }
+
+    pub(crate) fn float(&mut self) -> Result<f64, ParseError> {
+        let line = self.line();
+        let t = self.ident()?;
+        t.parse()
+            .map_err(|_| ParseError::new(line, format!("expected number, got `{t}`")))
+    }
+
+    /// Skips tokens until (and including) the next `;`.
+    pub(crate) fn skip_statement(&mut self) {
+        while let Some(t) = self.next() {
+            if t == ";" {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_and_tracks_lines() {
+        let mut lx = Lexer::new("A B ;\n# comment only\nC 42 1.5 ;");
+        assert_eq!(lx.next(), Some("A"));
+        assert_eq!(lx.next(), Some("B"));
+        assert!(lx.expect(";").is_ok());
+        assert_eq!(lx.line(), 3);
+        assert_eq!(lx.ident().unwrap(), "C");
+        assert_eq!(lx.int().unwrap(), 42);
+        assert!((lx.float().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let mut lx = Lexer::new("X # the rest is gone ;\nY");
+        assert_eq!(lx.next(), Some("X"));
+        assert_eq!(lx.next(), Some("Y"));
+        assert_eq!(lx.next(), None);
+    }
+
+    #[test]
+    fn expect_reports_line() {
+        let mut lx = Lexer::new("A\nB");
+        lx.next();
+        let err = lx.expect("C").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected `C`"));
+    }
+
+    #[test]
+    fn skip_statement_stops_after_semicolon() {
+        let mut lx = Lexer::new("junk junk ; NEXT");
+        lx.skip_statement();
+        assert_eq!(lx.next(), Some("NEXT"));
+    }
+
+    #[test]
+    fn int_rejects_float() {
+        let mut lx = Lexer::new("1.5");
+        assert!(lx.int().is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! LEF/DEF interchange for the CR&P toolkit.
+//!
+//! The paper's framework consumes a LEF (technology) and DEF (design) pair
+//! and emits a DEF plus a route-guide file for the detailed router. This
+//! crate implements the subset of those formats the flow touches:
+//!
+//! - **LEF**: units, one core `SITE`, `LAYER` stack (routing layers with
+//!   direction/pitch/width/spacing), `MACRO`s with point pins;
+//! - **DEF**: design name, units, die area, `ROW`s, `COMPONENTS` with
+//!   placement, I/O `PINS`, `NETS`;
+//! - **guides**: the per-net GCell rectangles format used by the ISPD-2018
+//!   flow (`write_guides`).
+//!
+//! Writers produce files the parsers read back losslessly
+//! ([`write_lef`]/[`parse_lef`], [`write_def`]/[`parse_def`]); round-trip
+//! property tests guarantee it.
+//!
+//! # Examples
+//!
+//! ```
+//! # use crp_netlist::{DesignBuilder, MacroCell};
+//! # use crp_geom::Point;
+//! # let mut b = DesignBuilder::new("demo", 1000);
+//! # b.site(200, 2000);
+//! # let m = b.add_macro(MacroCell::new("INV", 400, 2000).with_pin("A", 100, 1000, 0));
+//! # b.add_rows(2, 50, Point::new(0, 0));
+//! # let c = b.add_cell("u0", m, Point::new(0, 0));
+//! # let n = b.add_net("n0");
+//! # b.connect(n, c, "A");
+//! # let design = b.build();
+//! let lef = crp_lefdef::write_lef(&design);
+//! let def = crp_lefdef::write_def(&design);
+//! let tech = crp_lefdef::parse_lef(&lef)?;
+//! let restored = crp_lefdef::parse_def(&def, &tech)?;
+//! assert_eq!(restored.num_cells(), design.num_cells());
+//! # Ok::<(), crp_lefdef::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod def;
+mod guide;
+mod lef;
+mod lexer;
+
+pub use def::{parse_def, write_def};
+pub use guide::{parse_guides, write_guides, ParsedGuides};
+pub use lef::{parse_lef, write_lef, Tech};
+pub use lexer::ParseError;

@@ -1,0 +1,302 @@
+//! Programmatic construction of [`Design`]s.
+
+use crate::design::{Cell, Design, Net, Pin, PinOwner, Row};
+use crate::ids::{CellId, MacroId, NetId, PinId};
+use crate::tech::{default_layer_stack, LayerInfo, MacroCell, SiteInfo};
+use crp_geom::{Dbu, Orientation, Point, Rect};
+
+/// Incrementally assembles a [`Design`].
+///
+/// The builder wires up the cross-references (cell → pins, net → pins)
+/// that are tedious to maintain by hand and derives the die area from the
+/// rows when none was given explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use crp_netlist::{DesignBuilder, MacroCell};
+/// use crp_geom::Point;
+///
+/// let mut b = DesignBuilder::new("adder", 1000);
+/// b.site(200, 2000);
+/// let buf = b.add_macro(MacroCell::new("BUF", 400, 2000).with_pin("A", 100, 1000, 0));
+/// b.add_rows(2, 10, Point::new(0, 0));
+/// let c = b.add_cell("u0", buf, Point::new(0, 0));
+/// let n = b.add_net("clk");
+/// b.connect(n, c, "A");
+/// let design = b.build();
+/// assert_eq!(design.num_pins(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DesignBuilder {
+    design: Design,
+}
+
+impl DesignBuilder {
+    /// Starts a design with the default 9-layer stack and a default site.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dbu_per_micron: u32) -> DesignBuilder {
+        DesignBuilder {
+            design: Design {
+                name: name.into(),
+                dbu_per_micron,
+                die: Rect::default(),
+                layers: default_layer_stack(200),
+                site: SiteInfo::new(200, 2000),
+                macros: Vec::new(),
+                rows: Vec::new(),
+                blockages: Vec::new(),
+                cells: Vec::new(),
+                nets: Vec::new(),
+                pins: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the core site geometry. Returns the site for convenience.
+    pub fn site(&mut self, width: Dbu, height: Dbu) -> SiteInfo {
+        self.design.site = SiteInfo::new(width, height);
+        self.design.site
+    }
+
+    /// Replaces the routing layer stack.
+    pub fn layers(&mut self, layers: Vec<LayerInfo>) -> &mut Self {
+        self.design.layers = layers;
+        self
+    }
+
+    /// Sets the die area explicitly (otherwise derived from rows at build).
+    pub fn die(&mut self, die: Rect) -> &mut Self {
+        self.design.die = die;
+        self
+    }
+
+    /// Registers a library macro.
+    pub fn add_macro(&mut self, m: MacroCell) -> MacroId {
+        let id = MacroId::from_index(self.design.macros.len());
+        self.design.macros.push(m);
+        id
+    }
+
+    /// Adds `count` rows of `sites_per_row` sites, stacked upward from
+    /// `origin`, alternating N / FS orientation.
+    pub fn add_rows(&mut self, count: u32, sites_per_row: u32, origin: Point) -> &mut Self {
+        let mut orient = Orientation::N;
+        for i in 0..count {
+            self.design.rows.push(Row {
+                origin: Point::new(origin.x, origin.y + Dbu::from(i) * self.design.site.height),
+                num_sites: sites_per_row,
+                orient,
+            });
+            orient = orient.row_alternate();
+        }
+        self
+    }
+
+    /// Adds a single row with an explicit orientation (used by the DEF
+    /// reader, which must honour the file rather than alternate).
+    pub fn add_row_exact(&mut self, origin: Point, num_sites: u32, orient: Orientation) -> &mut Self {
+        self.design.rows.push(Row { origin, num_sites, orient });
+        self
+    }
+
+    /// Adds a placement blockage rectangle.
+    pub fn add_blockage(&mut self, rect: Rect) -> &mut Self {
+        self.design.blockages.push(rect);
+        self
+    }
+
+    /// Places an instance of `macro_id` with its origin at `pos`.
+    ///
+    /// The orientation is taken from the row whose y matches `pos.y`, or `N`
+    /// if no such row exists (legality checking will flag that case).
+    pub fn add_cell(&mut self, name: impl Into<String>, macro_id: MacroId, pos: Point) -> CellId {
+        let orient = self
+            .design
+            .row_with_origin_y(pos.y)
+            .map_or(Orientation::N, |r| self.design.rows[r.index()].orient);
+        let id = CellId::from_index(self.design.cells.len());
+        self.design.cells.push(Cell {
+            name: name.into(),
+            macro_id,
+            pos,
+            orient,
+            fixed: false,
+            pins: Vec::new(),
+        });
+        id
+    }
+
+    /// Places an instance with an explicit orientation (used by the DEF
+    /// reader).
+    pub fn add_cell_oriented(
+        &mut self,
+        name: impl Into<String>,
+        macro_id: MacroId,
+        pos: Point,
+        orient: Orientation,
+    ) -> CellId {
+        let id = self.add_cell(name, macro_id, pos);
+        self.design.cells[id.index()].orient = orient;
+        id
+    }
+
+    /// Marks a cell as fixed (unmovable).
+    pub fn fix_cell(&mut self, cell: CellId) -> &mut Self {
+        self.design.cells[cell.index()].fixed = true;
+        self
+    }
+
+    /// Declares an empty net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId::from_index(self.design.nets.len());
+        self.design.nets.push(Net { name: name.into(), pins: Vec::new() });
+        id
+    }
+
+    /// Connects `cell`'s macro pin `pin_name` to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro has no pin named `pin_name`.
+    pub fn connect(&mut self, net: NetId, cell: CellId, pin_name: &str) -> PinId {
+        let macro_id = self.design.cells[cell.index()].macro_id;
+        let macro_pin = self.design.macros[macro_id.index()]
+            .pin_index(pin_name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "macro {} has no pin {pin_name}",
+                    self.design.macros[macro_id.index()].name
+                )
+            });
+        let pin = PinId::from_index(self.design.pins.len());
+        self.design.pins.push(Pin { net, owner: PinOwner::Cell { cell, macro_pin } });
+        self.design.nets[net.index()].pins.push(pin);
+        self.design.cells[cell.index()].pins.push(pin);
+        pin
+    }
+
+    /// The macro implementing an already-added cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_macro(&self, cell: CellId) -> &MacroCell {
+        &self.design.macros[self.design.cells[cell.index()].macro_id.index()]
+    }
+
+    /// Connects `cell`'s macro pin number `macro_pin` to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macro_pin` is out of range for the cell's macro.
+    pub fn connect_index(&mut self, net: NetId, cell: CellId, macro_pin: usize) -> PinId {
+        let macro_id = self.design.cells[cell.index()].macro_id;
+        assert!(
+            macro_pin < self.design.macros[macro_id.index()].pins.len(),
+            "macro pin index {macro_pin} out of range"
+        );
+        let pin = PinId::from_index(self.design.pins.len());
+        self.design.pins.push(Pin { net, owner: PinOwner::Cell { cell, macro_pin } });
+        self.design.nets[net.index()].pins.push(pin);
+        self.design.cells[cell.index()].pins.push(pin);
+        pin
+    }
+
+    /// Connects a fixed I/O pad at `pos` on `layer` to `net`.
+    pub fn connect_io(&mut self, net: NetId, pos: Point, layer: usize) -> PinId {
+        let pin = PinId::from_index(self.design.pins.len());
+        self.design.pins.push(Pin { net, owner: PinOwner::Io { pos, layer } });
+        self.design.nets[net.index()].pins.push(pin);
+        pin
+    }
+
+    /// Finalizes the design: sorts rows by y and derives the die area from
+    /// the rows when it was not set explicitly.
+    #[must_use]
+    pub fn build(mut self) -> Design {
+        self.design.rows.sort_by_key(|r| (r.origin.y, r.origin.x));
+        if self.design.die.is_empty() {
+            let site = self.design.site;
+            let mut die: Option<Rect> = None;
+            for row in &self.design.rows {
+                let r = row.rect(site);
+                die = Some(die.map_or(r, |d| d.union(&r)));
+            }
+            self.design.die = die.unwrap_or_default();
+        }
+        self.design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_derived_from_rows() {
+        let mut b = DesignBuilder::new("d", 1000);
+        b.site(100, 1000);
+        b.add_rows(3, 50, Point::new(0, 0));
+        let d = b.build();
+        assert_eq!(d.die, Rect::with_size(Point::ORIGIN, 5000, 3000));
+    }
+
+    #[test]
+    fn explicit_die_respected() {
+        let mut b = DesignBuilder::new("d", 1000);
+        b.site(100, 1000);
+        b.die(Rect::with_size(Point::ORIGIN, 9000, 9000));
+        b.add_rows(1, 10, Point::new(0, 0));
+        assert_eq!(b.build().die.width(), 9000);
+    }
+
+    #[test]
+    fn rows_alternate_orientation() {
+        let mut b = DesignBuilder::new("d", 1000);
+        b.site(100, 1000);
+        b.add_rows(3, 10, Point::new(0, 0));
+        let d = b.build();
+        assert_eq!(d.rows[0].orient, Orientation::N);
+        assert_eq!(d.rows[1].orient, Orientation::FS);
+        assert_eq!(d.rows[2].orient, Orientation::N);
+    }
+
+    #[test]
+    fn connect_links_all_three_tables() {
+        let mut b = DesignBuilder::new("d", 1000);
+        b.site(100, 1000);
+        let m = b.add_macro(MacroCell::new("M", 100, 1000).with_pin("A", 50, 500, 0));
+        b.add_rows(1, 10, Point::new(0, 0));
+        let c = b.add_cell("u0", m, Point::new(0, 0));
+        let n = b.add_net("n0");
+        let p = b.connect(n, c, "A");
+        let d = b.build();
+        assert_eq!(d.net(n).pins, vec![p]);
+        assert_eq!(d.cell(c).pins, vec![p]);
+        assert_eq!(d.pin(p).net, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pin")]
+    fn connect_unknown_pin_panics() {
+        let mut b = DesignBuilder::new("d", 1000);
+        let m = b.add_macro(MacroCell::new("M", 100, 1000));
+        let c = b.add_cell("u0", m, Point::new(0, 0));
+        let n = b.add_net("n0");
+        b.connect(n, c, "Q");
+    }
+
+    #[test]
+    fn io_pins_are_fixed_points() {
+        let mut b = DesignBuilder::new("d", 1000);
+        b.site(100, 1000);
+        b.add_rows(1, 10, Point::new(0, 0));
+        let n = b.add_net("n0");
+        let p = b.connect_io(n, Point::new(0, 500), 2);
+        let d = b.build();
+        assert_eq!(d.pin_position(p), Point::new(0, 500));
+        assert_eq!(d.pin_layer(p), 2);
+    }
+}

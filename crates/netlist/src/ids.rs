@@ -1,0 +1,96 @@
+//! Typed indices into the design database.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as a `usize`, for slice access.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a [`Cell`](crate::Cell) in a [`Design`](crate::Design).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Index of a [`Net`](crate::Net) in a [`Design`](crate::Design).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Index of a [`Pin`](crate::Pin) in a [`Design`](crate::Design).
+    PinId,
+    "p"
+);
+define_id!(
+    /// Index of a [`MacroCell`](crate::MacroCell) in the library.
+    MacroId,
+    "m"
+);
+define_id!(
+    /// Index of a [`Row`](crate::Row) in the floorplan.
+    RowId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = CellId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_has_tag() {
+        assert_eq!(CellId(7).to_string(), "c7");
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(PinId(1).to_string(), "p1");
+        assert_eq!(MacroId(0).to_string(), "m0");
+        assert_eq!(RowId(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId(1) < CellId(2));
+    }
+}

@@ -1,0 +1,242 @@
+//! Placement legality checking (Eq. 5–8 of the CR&P paper).
+
+use crate::design::Design;
+use crate::ids::CellId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One placement-legality violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LegalityViolation {
+    /// The cell footprint leaves the die (Eq. 5).
+    OutsideDie {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Two cell footprints overlap (Eq. 6).
+    Overlap {
+        /// First cell (lower id).
+        a: CellId,
+        /// Second cell.
+        b: CellId,
+    },
+    /// The cell's x is not aligned to a site boundary of its row (Eq. 7).
+    OffSite {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// The cell's y does not coincide with a row origin (Eq. 8).
+    OffRow {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// The cell's orientation disagrees with its row's orientation.
+    WrongOrientation {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// The cell extends past the end of its row.
+    OutsideRow {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// The cell overlaps a placement blockage.
+    OnBlockage {
+        /// Offending cell.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for LegalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityViolation::OutsideDie { cell } => write!(f, "{cell} outside die"),
+            LegalityViolation::Overlap { a, b } => write!(f, "{a} overlaps {b}"),
+            LegalityViolation::OffSite { cell } => write!(f, "{cell} not site-aligned"),
+            LegalityViolation::OffRow { cell } => write!(f, "{cell} not row-aligned"),
+            LegalityViolation::WrongOrientation { cell } => {
+                write!(f, "{cell} orientation mismatches row")
+            }
+            LegalityViolation::OutsideRow { cell } => write!(f, "{cell} extends past row end"),
+            LegalityViolation::OnBlockage { cell } => write!(f, "{cell} overlaps blockage"),
+        }
+    }
+}
+
+/// Checks every placement constraint and returns all violations found.
+///
+/// An empty result means the placement is legal and can feed a detailed
+/// router. The check is `O(n log n)` in the number of cells (per-row sweep).
+///
+/// # Examples
+///
+/// ```
+/// use crp_netlist::{check_legality, DesignBuilder, MacroCell};
+/// use crp_geom::Point;
+///
+/// let mut b = DesignBuilder::new("d", 1000);
+/// b.site(100, 1000);
+/// let m = b.add_macro(MacroCell::new("M", 200, 1000));
+/// b.add_rows(1, 10, Point::new(0, 0));
+/// b.add_cell("u0", m, Point::new(0, 0));
+/// b.add_cell("u1", m, Point::new(100, 0)); // overlaps u0
+/// let violations = check_legality(&b.build());
+/// assert_eq!(violations.len(), 1);
+/// ```
+#[must_use]
+pub fn check_legality(design: &Design) -> Vec<LegalityViolation> {
+    let mut out = Vec::new();
+    let site = design.site;
+
+    // Per-cell constraints.
+    for (id, cell) in design.cells() {
+        let rect = design.cell_rect(id);
+        if !design.die.contains_rect(&rect) {
+            out.push(LegalityViolation::OutsideDie { cell: id });
+        }
+        for blk in &design.blockages {
+            if rect.intersects(blk) {
+                out.push(LegalityViolation::OnBlockage { cell: id });
+                break;
+            }
+        }
+        match design.row_with_origin_y(cell.pos.y) {
+            None => out.push(LegalityViolation::OffRow { cell: id }),
+            Some(row_id) => {
+                let row = &design.rows[row_id.index()];
+                if (cell.pos.x - row.origin.x).rem_euclid(site.width) != 0 {
+                    out.push(LegalityViolation::OffSite { cell: id });
+                }
+                if cell.orient != row.orient {
+                    out.push(LegalityViolation::WrongOrientation { cell: id });
+                }
+                if !row.rect(site).x_span().contains_interval(&rect.x_span()) {
+                    out.push(LegalityViolation::OutsideRow { cell: id });
+                }
+            }
+        }
+    }
+
+    // Overlaps: sweep each row band. Cells are single-row-height, so two
+    // cells overlap iff they share a row y and their x-spans intersect.
+    let mut by_y: std::collections::BTreeMap<i64, Vec<CellId>> = std::collections::BTreeMap::new();
+    for (id, cell) in design.cells() {
+        by_y.entry(cell.pos.y).or_default().push(id);
+    }
+    for ids in by_y.values() {
+        let mut spans: Vec<(CellId, crp_geom::Interval)> = ids
+            .iter()
+            .map(|&id| (id, design.cell_rect(id).x_span()))
+            .collect();
+        spans.sort_by_key(|(_, s)| s.lo);
+        for w in spans.windows(2) {
+            let (a, sa) = w[0];
+            let (b, sb) = w[1];
+            if sa.overlaps(&sb) {
+                let (a, b) = if a < b { (a, b) } else { (b, a) };
+                out.push(LegalityViolation::Overlap { a, b });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::tech::MacroCell;
+    use crp_geom::{Orientation, Point, Rect};
+
+    fn base() -> DesignBuilder {
+        let mut b = DesignBuilder::new("t", 1000);
+        b.site(100, 1000);
+        b.add_rows(3, 20, Point::new(0, 0));
+        b
+    }
+
+    #[test]
+    fn legal_design_has_no_violations() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(0, 0));
+        b.add_cell("u1", m, Point::new(300, 0));
+        b.add_cell("u2", m, Point::new(0, 1000));
+        assert!(check_legality(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn abutting_cells_are_legal() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 200, 1000));
+        b.add_cell("u0", m, Point::new(0, 0));
+        b.add_cell("u1", m, Point::new(200, 0));
+        assert!(check_legality(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn overlap_detected_once() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(0, 0));
+        b.add_cell("u1", m, Point::new(200, 0));
+        let v = check_legality(&b.build());
+        assert_eq!(v, vec![LegalityViolation::Overlap { a: CellId(0), b: CellId(1) }]);
+    }
+
+    #[test]
+    fn off_site_detected() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(150, 0));
+        let v = check_legality(&b.build());
+        assert!(v.contains(&LegalityViolation::OffSite { cell: CellId(0) }));
+    }
+
+    #[test]
+    fn off_row_detected() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(0, 500));
+        let v = check_legality(&b.build());
+        assert!(v.contains(&LegalityViolation::OffRow { cell: CellId(0) }));
+    }
+
+    #[test]
+    fn wrong_orientation_detected() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        let c = b.add_cell("u0", m, Point::new(0, 0));
+        let mut d = b.build();
+        d.move_cell(c, Point::new(0, 0), Orientation::FS); // row 0 is N
+        let v = check_legality(&d);
+        assert!(v.contains(&LegalityViolation::WrongOrientation { cell: c }));
+    }
+
+    #[test]
+    fn outside_row_end_detected() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(1900, 0)); // row ends at x=2000
+        let v = check_legality(&b.build());
+        assert!(v.contains(&LegalityViolation::OutsideRow { cell: CellId(0) }));
+        assert!(v.contains(&LegalityViolation::OutsideDie { cell: CellId(0) }));
+    }
+
+    #[test]
+    fn blockage_overlap_detected() {
+        let mut b = base();
+        let m = b.add_macro(MacroCell::new("M", 300, 1000));
+        b.add_cell("u0", m, Point::new(0, 0));
+        b.add_blockage(Rect::with_size(Point::new(100, 0), 100, 1000));
+        let v = check_legality(&b.build());
+        assert!(v.contains(&LegalityViolation::OnBlockage { cell: CellId(0) }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = LegalityViolation::Overlap { a: CellId(0), b: CellId(1) };
+        assert_eq!(v.to_string(), "c0 overlaps c1");
+    }
+}

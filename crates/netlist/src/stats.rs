@@ -1,0 +1,188 @@
+//! Placement statistics: HPWL, net bounding boxes, median positions.
+
+use crate::design::Design;
+use crate::ids::{CellId, NetId};
+use crp_geom::{bounding_box, Dbu, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The bounding box of a net's pin positions, or `None` for a pinless net.
+#[must_use]
+pub fn net_bounding_box(design: &Design, net: NetId) -> Option<Rect> {
+    bounding_box(design.net(net).pins.iter().map(|&p| design.pin_position(p)))
+}
+
+/// Half-perimeter wirelength of a net (0 for nets with fewer than 2 pins).
+///
+/// # Examples
+///
+/// ```
+/// # use crp_netlist::{DesignBuilder, MacroCell, net_hpwl};
+/// # use crp_geom::Point;
+/// let mut b = DesignBuilder::new("d", 1000);
+/// b.site(100, 1000);
+/// let m = b.add_macro(MacroCell::new("M", 100, 1000).with_pin("A", 50, 500, 0));
+/// b.add_rows(2, 100, Point::new(0, 0));
+/// let c0 = b.add_cell("u0", m, Point::new(0, 0));
+/// let c1 = b.add_cell("u1", m, Point::new(900, 1000));
+/// let n = b.add_net("n");
+/// b.connect(n, c0, "A");
+/// b.connect(n, c1, "A");
+/// let d = b.build();
+/// assert_eq!(net_hpwl(&d, n), 900 + 1000);
+/// ```
+#[must_use]
+pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
+    match net_bounding_box(design, net) {
+        // The bounding box is half-open: subtract the 1-DBU padding.
+        Some(bb) => (bb.width() - 1) + (bb.height() - 1),
+        None => 0,
+    }
+}
+
+/// Sum of [`net_hpwl`] over all nets.
+#[must_use]
+pub fn total_hpwl(design: &Design) -> Dbu {
+    design.net_ids().map(|n| net_hpwl(design, n)).sum()
+}
+
+/// The median position of a cell with respect to its connected pins.
+///
+/// This is the optimal single-cell position under HPWL-like objectives and
+/// the move target of the median-move baseline \[18\]. The median is taken
+/// over the positions of all *other* pins on the cell's nets; the cell's own
+/// pins are excluded so the result does not anchor to the current position.
+/// Falls back to the cell's current position when it has no external pins.
+#[must_use]
+pub fn median_position(design: &Design, cell: CellId) -> Point {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for net in design.nets_of_cell(cell) {
+        for &pin in &design.net(net).pins {
+            let owned_by_cell = matches!(
+                design.pin(pin).owner,
+                crate::design::PinOwner::Cell { cell: c, .. } if c == cell
+            );
+            if !owned_by_cell {
+                let p = design.pin_position(pin);
+                xs.push(p.x);
+                ys.push(p.y);
+            }
+        }
+    }
+    if xs.is_empty() {
+        return design.cell(cell).pos;
+    }
+    xs.sort_unstable();
+    ys.sort_unstable();
+    Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
+}
+
+/// Summary statistics of a design, for reports and Table II regeneration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Number of cells.
+    pub cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Placement utilization (cell area / row area).
+    pub utilization: f64,
+    /// Total HPWL in DBU.
+    pub hpwl: Dbu,
+}
+
+impl DesignStats {
+    /// Gathers statistics from a design.
+    #[must_use]
+    pub fn of(design: &Design) -> DesignStats {
+        DesignStats {
+            name: design.name.clone(),
+            cells: design.num_cells(),
+            nets: design.num_nets(),
+            pins: design.num_pins(),
+            rows: design.rows.len(),
+            utilization: design.utilization(),
+            hpwl: total_hpwl(design),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::tech::MacroCell;
+
+    fn fixture() -> (Design, NetId, CellId) {
+        let mut b = DesignBuilder::new("s", 1000);
+        b.site(100, 1000);
+        let m = b.add_macro(MacroCell::new("M", 100, 1000).with_pin("A", 50, 500, 0));
+        b.add_rows(4, 100, Point::new(0, 0));
+        let c0 = b.add_cell("u0", m, Point::new(0, 0));
+        let c1 = b.add_cell("u1", m, Point::new(2000, 1000));
+        let c2 = b.add_cell("u2", m, Point::new(4000, 2000));
+        let n = b.add_net("n");
+        b.connect(n, c0, "A");
+        b.connect(n, c1, "A");
+        b.connect(n, c2, "A");
+        (b.build(), n, c1)
+    }
+
+    #[test]
+    fn hpwl_of_three_pin_net() {
+        let (d, n, _) = fixture();
+        // pins at (50,500), (2050,1500), (4050,2500)
+        assert_eq!(net_hpwl(&d, n), 4000 + 2000);
+        assert_eq!(total_hpwl(&d), 6000);
+    }
+
+    #[test]
+    fn hpwl_of_empty_or_single_pin_net_is_zero() {
+        let mut b = DesignBuilder::new("s", 1000);
+        b.site(100, 1000);
+        let m = b.add_macro(MacroCell::new("M", 100, 1000).with_pin("A", 50, 500, 0));
+        b.add_rows(1, 10, Point::new(0, 0));
+        let c = b.add_cell("u", m, Point::new(0, 0));
+        let empty = b.add_net("e");
+        let single = b.add_net("s");
+        b.connect(single, c, "A");
+        let d = b.build();
+        assert_eq!(net_hpwl(&d, empty), 0);
+        assert_eq!(net_hpwl(&d, single), 0);
+    }
+
+    #[test]
+    fn median_excludes_own_pins() {
+        let (d, _, c1) = fixture();
+        // External pins of c1's single net: (50,500) and (4050,2500).
+        // Median (upper of two) = (4050, 2500).
+        assert_eq!(median_position(&d, c1), Point::new(4050, 2500));
+    }
+
+    #[test]
+    fn median_falls_back_to_current_pos() {
+        let mut b = DesignBuilder::new("s", 1000);
+        b.site(100, 1000);
+        let m = b.add_macro(MacroCell::new("M", 100, 1000));
+        b.add_rows(1, 10, Point::new(0, 0));
+        let c = b.add_cell("u", m, Point::new(300, 0));
+        let d = b.build();
+        assert_eq!(median_position(&d, c), Point::new(300, 0));
+    }
+
+    #[test]
+    fn stats_gather() {
+        let (d, _, _) = fixture();
+        let s = DesignStats::of(&d);
+        assert_eq!(s.cells, 3);
+        assert_eq!(s.nets, 1);
+        assert_eq!(s.pins, 3);
+        assert_eq!(s.rows, 4);
+        assert!(s.utilization > 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Technology data: routing layers, placement sites, macro library.
+
+use crp_geom::{Axis, Dbu, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One routing layer of the technology stack.
+///
+/// Layer `0` is the lowest metal (M1). Preferred directions alternate; the
+/// GCell graph only creates wire edges along a layer's preferred axis,
+/// mirroring CUGR's 3D capacity model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerInfo {
+    /// Layer name, e.g. `"M2"`.
+    pub name: String,
+    /// Preferred routing axis.
+    pub axis: Axis,
+    /// Track pitch in DBU.
+    pub pitch: Dbu,
+    /// Minimum wire width in DBU.
+    pub min_width: Dbu,
+    /// Minimum same-layer spacing in DBU.
+    pub min_spacing: Dbu,
+    /// Minimum metal area in DBU² (for min-area DRC checks).
+    pub min_area: i128,
+}
+
+impl LayerInfo {
+    /// Creates a signal routing layer with spacing/width derived from pitch.
+    ///
+    /// Width and spacing each default to half the pitch, and minimum area to
+    /// `(2 × pitch) × width`, which matches the proportions of open LEF kits.
+    #[must_use]
+    pub fn signal(name: impl Into<String>, axis: Axis, pitch: Dbu) -> LayerInfo {
+        let min_width = pitch / 2;
+        LayerInfo {
+            name: name.into(),
+            axis,
+            pitch,
+            min_width,
+            min_spacing: pitch - min_width,
+            min_area: i128::from(2 * pitch) * i128::from(min_width),
+        }
+    }
+
+    /// Number of routing tracks that fit across `extent` DBU of this layer.
+    #[must_use]
+    pub fn tracks_in(&self, extent: Dbu) -> u32 {
+        if self.pitch <= 0 {
+            return 0;
+        }
+        u32::try_from((extent / self.pitch).max(0)).unwrap_or(0)
+    }
+}
+
+/// The standard-cell placement site (LEF `SITE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// Site width in DBU. Cell widths are integer multiples of this.
+    pub width: Dbu,
+    /// Site (row) height in DBU.
+    pub height: Dbu,
+}
+
+impl SiteInfo {
+    /// Creates a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive.
+    #[must_use]
+    pub fn new(width: Dbu, height: Dbu) -> SiteInfo {
+        assert!(width > 0 && height > 0, "site dimensions must be positive");
+        SiteInfo { width, height }
+    }
+}
+
+/// A pin of a [`MacroCell`], positioned relative to the macro origin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroPin {
+    /// Pin name, e.g. `"A"` or `"Y"`.
+    pub name: String,
+    /// Offset of the pin's access point from the macro's lower-left corner.
+    pub offset: Point,
+    /// Routing layer the pin shape sits on (usually 0 = M1).
+    pub layer: usize,
+}
+
+/// A library cell (LEF `MACRO`): footprint plus pin geometry.
+///
+/// # Examples
+///
+/// ```
+/// use crp_netlist::MacroCell;
+///
+/// let nand = MacroCell::new("NAND2", 400, 2000)
+///     .with_pin("A", 100, 1000, 0)
+///     .with_pin("B", 200, 1000, 0)
+///     .with_pin("Y", 300, 1000, 0);
+/// assert_eq!(nand.pins.len(), 3);
+/// assert_eq!(nand.pin("Y").unwrap().offset.x, 300);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroCell {
+    /// Macro name, e.g. `"NAND2_X1"`.
+    pub name: String,
+    /// Footprint width in DBU (a multiple of the site width for core cells).
+    pub width: Dbu,
+    /// Footprint height in DBU (equal to the row height for core cells).
+    pub height: Dbu,
+    /// Pins, in declaration order.
+    pub pins: Vec<MacroPin>,
+}
+
+impl MacroCell {
+    /// Creates a macro with no pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: Dbu, height: Dbu) -> MacroCell {
+        assert!(width > 0 && height > 0, "macro dimensions must be positive");
+        MacroCell { name: name.into(), width, height, pins: Vec::new() }
+    }
+
+    /// Adds a pin at `(dx, dy)` from the macro origin on `layer` (builder style).
+    #[must_use]
+    pub fn with_pin(mut self, name: impl Into<String>, dx: Dbu, dy: Dbu, layer: usize) -> MacroCell {
+        self.pins.push(MacroPin { name: name.into(), offset: Point::new(dx, dy), layer });
+        self
+    }
+
+    /// Looks a pin up by name.
+    #[must_use]
+    pub fn pin(&self, name: &str) -> Option<&MacroPin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+
+    /// Index of a pin by name.
+    #[must_use]
+    pub fn pin_index(&self, name: &str) -> Option<usize> {
+        self.pins.iter().position(|p| p.name == name)
+    }
+
+    /// The macro footprint placed with its origin at `at` (N orientation).
+    #[must_use]
+    pub fn footprint_at(&self, at: Point) -> Rect {
+        Rect::with_size(at, self.width, self.height)
+    }
+
+    /// Width in placement sites.
+    #[must_use]
+    pub fn width_in_sites(&self, site: SiteInfo) -> Dbu {
+        (self.width + site.width - 1) / site.width
+    }
+}
+
+/// Builds the default 9-metal-layer stack used by the synthetic benchmarks.
+///
+/// Layer 0 (M1) is the pin layer: it gets a token capacity because signal
+/// routing on M1 is effectively unavailable in the ISPD-2018 benchmarks.
+/// Layers alternate H/V starting with M2 horizontal.
+#[must_use]
+pub fn default_layer_stack(pitch: Dbu) -> Vec<LayerInfo> {
+    (0..9)
+        .map(|i| {
+            let axis = if i % 2 == 0 { Axis::Y } else { Axis::X };
+            let layer_pitch = if i >= 6 { pitch * 2 } else { pitch };
+            LayerInfo::signal(format!("M{}", i + 1), axis, layer_pitch)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_in_counts_pitches() {
+        let l = LayerInfo::signal("M2", Axis::X, 200);
+        assert_eq!(l.tracks_in(1000), 5);
+        assert_eq!(l.tracks_in(150), 0);
+        assert_eq!(l.tracks_in(0), 0);
+    }
+
+    #[test]
+    fn macro_pin_lookup() {
+        let m = MacroCell::new("BUF", 400, 2000).with_pin("A", 100, 500, 0);
+        assert!(m.pin("A").is_some());
+        assert!(m.pin("Z").is_none());
+        assert_eq!(m.pin_index("A"), Some(0));
+    }
+
+    #[test]
+    fn width_in_sites_rounds_up() {
+        let site = SiteInfo::new(200, 2000);
+        let m = MacroCell::new("X", 500, 2000);
+        assert_eq!(m.width_in_sites(site), 3);
+    }
+
+    #[test]
+    fn default_stack_alternates() {
+        let stack = default_layer_stack(200);
+        assert_eq!(stack.len(), 9);
+        assert_eq!(stack[0].axis, Axis::Y);
+        assert_eq!(stack[1].axis, Axis::X);
+        assert_eq!(stack[2].axis, Axis::Y);
+        assert_eq!(stack[8].pitch, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sized_macro_panics() {
+        let _ = MacroCell::new("BAD", 0, 100);
+    }
+}

@@ -1,0 +1,358 @@
+//! Rectilinear Steiner tree construction.
+//!
+//! The CR&P flow prices every candidate cell position by building a Steiner
+//! topology for each incident net (`getFlute` in Algorithm 3 — the authors
+//! use FLUTE) and then 3D-pattern-routing each tree edge. FLUTE proper is a
+//! lookup-table method; this crate provides an equivalent light-weight
+//! heuristic with the same interface contract:
+//!
+//! 1. build a Manhattan-metric minimum spanning tree over the terminals
+//!    (Prim, `O(n²)` — net degrees are small), then
+//! 2. iteratively insert Steiner points: for every tree vertex, any two of
+//!    its neighbours whose median point with the vertex saves wirelength are
+//!    re-hung below a new Steiner node (a simplified iterated-1-Steiner).
+//!
+//! The result is a tree whose edges the router realizes as L/Z patterns.
+//! For nets of up to three pins the construction is optimal.
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_geom::Point;
+//! use crp_rsmt::rsmt;
+//!
+//! // Three corners of a square: the optimal tree uses one Steiner point.
+//! let tree = rsmt(&[Point::new(0, 0), Point::new(10, 10), Point::new(10, 0)]);
+//! assert_eq!(tree.wirelength(), 20);
+//! assert!(tree.is_spanning_tree());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crp_geom::{Dbu, Point};
+use serde::{Deserialize, Serialize};
+
+/// A tree over net terminals plus inserted Steiner points.
+///
+/// The first [`num_terminals`](SteinerTree::num_terminals) entries of
+/// [`points`](SteinerTree::points) are the input terminals in input order
+/// (deduplicated); any further points are Steiner points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteinerTree {
+    /// Tree vertices; terminals first, then Steiner points.
+    pub points: Vec<Point>,
+    /// How many leading entries of `points` are terminals.
+    pub num_terminals: usize,
+    /// Undirected tree edges as index pairs into `points`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl SteinerTree {
+    /// A tree over a single terminal (no edges).
+    #[must_use]
+    pub fn singleton(p: Point) -> SteinerTree {
+        SteinerTree { points: vec![p], num_terminals: 1, edges: Vec::new() }
+    }
+
+    /// Total Manhattan wirelength over all edges.
+    #[must_use]
+    pub fn wirelength(&self) -> Dbu {
+        self.edges
+            .iter()
+            .map(|&(a, b)| self.points[a as usize].manhattan(self.points[b as usize]))
+            .sum()
+    }
+
+    /// Whether the edge set forms a spanning tree over all vertices.
+    #[must_use]
+    pub fn is_spanning_tree(&self) -> bool {
+        let n = self.points.len();
+        if n == 0 {
+            return false;
+        }
+        if self.edges.len() != n - 1 {
+            return false;
+        }
+        // Union-find connectivity check.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for &(a, b) in &self.edges {
+            let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+            if ra == rb {
+                return false; // cycle
+            }
+            parent[ra] = rb;
+        }
+        true
+    }
+
+    /// Iterates over edges as point pairs.
+    pub fn segments(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        self.edges.iter().map(|&(a, b)| (self.points[a as usize], self.points[b as usize]))
+    }
+}
+
+/// The component-wise median of three points — the optimal Steiner point
+/// for a 3-terminal net.
+#[must_use]
+pub fn median3(a: Point, b: Point, c: Point) -> Point {
+    fn med(x: Dbu, y: Dbu, z: Dbu) -> Dbu {
+        x.max(y).min(x.max(z)).min(y.max(z))
+    }
+    Point::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))
+}
+
+/// Builds a Manhattan minimum spanning tree over `terminals`.
+///
+/// Duplicate terminals are collapsed. Returns a [`SteinerTree`] with no
+/// Steiner points. An empty input yields an empty, non-spanning tree.
+#[must_use]
+pub fn mst(terminals: &[Point]) -> SteinerTree {
+    let mut points: Vec<Point> = Vec::with_capacity(terminals.len());
+    for &t in terminals {
+        if !points.contains(&t) {
+            points.push(t);
+        }
+    }
+    let n = points.len();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    if n > 1 {
+        // Prim's algorithm, O(n²).
+        let mut in_tree = vec![false; n];
+        let mut best_dist = vec![Dbu::MAX; n];
+        let mut best_link = vec![0u32; n];
+        in_tree[0] = true;
+        for i in 1..n {
+            best_dist[i] = points[0].manhattan(points[i]);
+        }
+        for _ in 1..n {
+            let mut next = usize::MAX;
+            let mut next_d = Dbu::MAX;
+            for i in 0..n {
+                if !in_tree[i] && best_dist[i] < next_d {
+                    next = i;
+                    next_d = best_dist[i];
+                }
+            }
+            in_tree[next] = true;
+            edges.push((best_link[next], next as u32));
+            for i in 0..n {
+                if !in_tree[i] {
+                    let d = points[next].manhattan(points[i]);
+                    if d < best_dist[i] {
+                        best_dist[i] = d;
+                        best_link[i] = next as u32;
+                    }
+                }
+            }
+        }
+    }
+    SteinerTree { num_terminals: n, points, edges }
+}
+
+/// Builds a rectilinear Steiner tree over `terminals` (MST + iterated
+/// Steiner-point insertion).
+///
+/// The wirelength never exceeds the MST's. Terminals are deduplicated; the
+/// returned tree's first `num_terminals` points are the distinct terminals.
+///
+/// # Examples
+///
+/// ```
+/// use crp_geom::Point;
+/// let t = crp_rsmt::rsmt(&[Point::new(0, 0), Point::new(4, 4), Point::new(4, 0), Point::new(0, 4)]);
+/// // Four corners: MST costs 12, the Steiner tree 8 + 8 = 16? No — the
+/// // optimal RSMT for a 4-square is 3 sides minus shared trunk = 12 with a
+/// // cross topology costing 4 * 4 = 16; our heuristic stays <= MST (12).
+/// assert!(t.wirelength() <= 12);
+/// ```
+#[must_use]
+pub fn rsmt(terminals: &[Point]) -> SteinerTree {
+    let mut tree = mst(terminals);
+    if tree.points.len() < 3 {
+        return tree;
+    }
+    // Iterated local Steinerization: for each vertex v with at least two
+    // neighbours, consider re-hanging a neighbour pair (a, b) below the
+    // median of (v, a, b). Accept the best positive-gain move; repeat.
+    loop {
+        let n = tree.points.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ei, &(a, b)) in tree.edges.iter().enumerate() {
+            adj[a as usize].push(ei);
+            adj[b as usize].push(ei);
+        }
+        let mut best_gain = 0;
+        let mut best: Option<(usize, usize, usize, Point)> = None; // (v, e1, e2, steiner)
+        for v in 0..n {
+            if adj[v].len() < 2 {
+                continue;
+            }
+            for i in 0..adj[v].len() {
+                for j in (i + 1)..adj[v].len() {
+                    let (e1, e2) = (adj[v][i], adj[v][j]);
+                    let other = |e: usize| {
+                        let (a, b) = tree.edges[e];
+                        if a as usize == v { b as usize } else { a as usize }
+                    };
+                    let (a, b) = (other(e1), other(e2));
+                    let pv = tree.points[v];
+                    let (pa, pb) = (tree.points[a], tree.points[b]);
+                    let s = median3(pv, pa, pb);
+                    if s == pv {
+                        continue;
+                    }
+                    let old = pv.manhattan(pa) + pv.manhattan(pb);
+                    let new = s.manhattan(pv) + s.manhattan(pa) + s.manhattan(pb);
+                    let gain = old - new;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best = Some((v, e1, e2, s));
+                    }
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some((v, e1, e2, s)) => {
+                let si = tree.points.len() as u32;
+                tree.points.push(s);
+                let other = |e: usize| {
+                    let (a, b) = tree.edges[e];
+                    if a as usize == v { b } else { a }
+                };
+                let (a, b) = (other(e1), other(e2));
+                tree.edges[e1] = (si, a);
+                tree.edges[e2] = (si, b);
+                tree.edges.push((v as u32, si));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::bounding_box;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        let t = mst(&[]);
+        assert!(t.points.is_empty());
+        assert!(!t.is_spanning_tree());
+    }
+
+    #[test]
+    fn single_terminal() {
+        let t = rsmt(&[Point::new(5, 5)]);
+        assert_eq!(t.wirelength(), 0);
+        assert!(t.is_spanning_tree());
+    }
+
+    #[test]
+    fn duplicate_terminals_collapse() {
+        let p = Point::new(3, 3);
+        let t = rsmt(&[p, p, p]);
+        assert_eq!(t.points.len(), 1);
+        assert_eq!(t.num_terminals, 1);
+    }
+
+    #[test]
+    fn two_pin_net_is_direct() {
+        let t = rsmt(&[Point::new(0, 0), Point::new(7, 3)]);
+        assert_eq!(t.wirelength(), 10);
+        assert_eq!(t.edges.len(), 1);
+    }
+
+    #[test]
+    fn three_pin_l_shape_gets_steiner_point() {
+        // Terminals at (0,0), (10,0), (5,8): Steiner at (5,0), WL = 10 + 8.
+        let t = rsmt(&[Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)]);
+        assert_eq!(t.wirelength(), 18);
+        assert!(t.points.len() >= 4, "expected a Steiner point");
+        assert!(t.is_spanning_tree());
+    }
+
+    #[test]
+    fn median3_is_componentwise() {
+        assert_eq!(
+            median3(Point::new(0, 9), Point::new(5, 0), Point::new(9, 4)),
+            Point::new(5, 4)
+        );
+    }
+
+    #[test]
+    fn star_topology_improves_on_mst() {
+        let terms = [
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(0, 100),
+            Point::new(100, 100),
+            Point::new(50, 50),
+        ];
+        let m = mst(&terms);
+        let s = rsmt(&terms);
+        assert!(s.wirelength() <= m.wirelength());
+        assert!(s.is_spanning_tree());
+    }
+
+    fn hpwl(points: &[Point]) -> Dbu {
+        bounding_box(points.iter().copied())
+            .map_or(0, |bb| (bb.width() - 1) + (bb.height() - 1))
+    }
+
+    proptest! {
+        #[test]
+        fn rsmt_never_worse_than_mst(
+            pts in proptest::collection::vec((0i64..200, 0i64..200), 2..12)
+        ) {
+            let terms: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let m = mst(&terms);
+            let s = rsmt(&terms);
+            prop_assert!(s.wirelength() <= m.wirelength());
+        }
+
+        #[test]
+        fn rsmt_is_spanning_tree(
+            pts in proptest::collection::vec((0i64..200, 0i64..200), 1..12)
+        ) {
+            let terms: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            prop_assert!(rsmt(&terms).is_spanning_tree());
+        }
+
+        #[test]
+        fn rsmt_at_least_hpwl(
+            pts in proptest::collection::vec((0i64..200, 0i64..200), 2..12)
+        ) {
+            // Any connected tree spanning the terminals is at least the HPWL.
+            let terms: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let dedup: Vec<Point> = {
+                let mut v = Vec::new();
+                for &t in &terms { if !v.contains(&t) { v.push(t); } }
+                v
+            };
+            let s = rsmt(&terms);
+            prop_assert!(s.wirelength() >= hpwl(&dedup));
+        }
+
+        #[test]
+        fn steiner_points_only_appended(
+            pts in proptest::collection::vec((0i64..50, 0i64..50), 2..8)
+        ) {
+            let terms: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let s = rsmt(&terms);
+            let m = mst(&terms);
+            prop_assert_eq!(s.num_terminals, m.points.len());
+            prop_assert_eq!(&s.points[..s.num_terminals], &m.points[..]);
+        }
+    }
+}

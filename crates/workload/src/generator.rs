@@ -1,0 +1,477 @@
+//! The deterministic design generator.
+
+use crate::profiles::Profile;
+use crp_geom::{Dbu, Interval, Point, Rect};
+use crp_netlist::{CellId, Design, DesignBuilder, MacroId, NetId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const SITE_W: Dbu = 200;
+const SITE_H: Dbu = 2000;
+const DBU: u32 = 1000;
+
+/// The small standard-cell library every benchmark shares: widths from one
+/// to four sites, pin counts growing with size. Returns `(macro ids,
+/// widths in sites)`.
+fn library(b: &mut DesignBuilder) -> (Vec<MacroId>, Vec<i64>) {
+    use crp_netlist::MacroCell;
+    let mk = |name: &str, sites: i64, pins: &[(&str, i64, i64)]| {
+        let mut m = MacroCell::new(name, sites * SITE_W, SITE_H);
+        for &(pname, fx, fy) in pins {
+            // Pin offsets are parameterized in 1/8ths of the footprint.
+            m = m.with_pin(pname, sites * SITE_W * fx / 8, SITE_H * fy / 8, 0);
+        }
+        m
+    };
+    let ids = vec![
+        b.add_macro(mk("INV_X1", 1, &[("A", 2, 4), ("Y", 6, 4)])),
+        b.add_macro(mk("BUF_X2", 2, &[("A", 1, 4), ("Y", 7, 4)])),
+        b.add_macro(mk("NAND2_X1", 2, &[("A", 1, 3), ("B", 3, 5), ("Y", 7, 4)])),
+        b.add_macro(mk("NOR2_X1", 2, &[("A", 1, 5), ("B", 3, 3), ("Y", 7, 4)])),
+        b.add_macro(mk(
+            "AOI22_X1",
+            3,
+            &[("A", 1, 3), ("B", 2, 5), ("C", 4, 3), ("D", 5, 5), ("Y", 7, 4)],
+        )),
+        b.add_macro(mk("DFF_X1", 4, &[("D", 1, 3), ("CK", 2, 6), ("Q", 7, 4)])),
+    ];
+    (ids, vec![1, 2, 2, 2, 3, 4])
+}
+
+/// Macro-choice weights (library index, weight).
+const MACRO_WEIGHTS: [(usize, u32); 6] = [(0, 30), (1, 15), (2, 20), (3, 15), (4, 10), (5, 10)];
+
+fn pick_macro(rng: &mut StdRng) -> usize {
+    let total: u32 = MACRO_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(i, w) in &MACRO_WEIGHTS {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    0
+}
+
+/// Net degree distribution: mostly 2–3 pins with a heavier tail, matching
+/// typical standard-cell netlists.
+fn pick_degree(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100u32) {
+        0..=54 => 2,
+        55..=74 => 3,
+        75..=84 => 4,
+        85..=90 => 5,
+        91..=95 => 6,
+        96..=98 => 8,
+        _ => 12,
+    }
+}
+
+/// A free span of sites within one row (after blockage subtraction).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    row: u32,
+    /// Site index the segment starts at.
+    start: i64,
+    /// Number of sites.
+    len: i64,
+    /// Sites already used by assigned cells.
+    used: i64,
+}
+
+/// Generates the deterministic design for `profile`.
+///
+/// The placement is legal by construction — cells are packed into the free
+/// segments of each row (blockages excluded) with randomized whitespace —
+/// and [`crp_netlist::check_legality`] verifies empty in tests.
+///
+/// # Panics
+///
+/// Panics if the profile describes an impossible design (e.g. utilization
+/// so high the cells cannot fit).
+#[must_use]
+pub fn generate(profile: &Profile) -> Design {
+    assert!(profile.cells > 0, "profile must have cells");
+    let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut b = DesignBuilder::new(profile.name.clone(), DBU);
+    b.site(SITE_W, SITE_H);
+    let (lib, macro_sites) = library(&mut b);
+
+    // --- choose cell sizes --------------------------------------------------
+    let choices: Vec<usize> = (0..profile.cells).map(|_| pick_macro(&mut rng)).collect();
+    let total_cell_sites: i64 = choices.iter().map(|&i| macro_sites[i]).sum();
+
+    // --- floorplan ------------------------------------------------------------
+    // A roughly square die: rows × SITE_H ≈ sites_per_row × SITE_W.
+    let total_sites = (total_cell_sites as f64 / profile.utilization).ceil() as i64;
+    let aspect = (SITE_H / SITE_W) as f64;
+    let rows = ((total_sites as f64 / aspect).sqrt().ceil() as u32).max(2);
+    let sites_per_row = ((total_sites as f64 / f64::from(rows)).ceil() as u32).max(8);
+    b.add_rows(rows, sites_per_row, Point::new(0, 0));
+    let die_w = i64::from(sites_per_row) * SITE_W;
+    let die_h = i64::from(rows) * SITE_H;
+
+    // --- blockages (site/row aligned, chosen before placement) ---------------
+    let mut blockages: Vec<Rect> = Vec::new();
+    for _ in 0..profile.blockages {
+        let w_sites = i64::from(sites_per_row) / 10 + 1;
+        let h_rows = (i64::from(rows) / 10 + 1).min(i64::from(rows));
+        let s0 = rng.gen_range(0..(i64::from(sites_per_row) - w_sites).max(1));
+        let r0 = rng.gen_range(0..(i64::from(rows) - h_rows).max(1));
+        blockages.push(Rect::with_size(
+            Point::new(s0 * SITE_W, r0 * SITE_H),
+            w_sites * SITE_W,
+            h_rows * SITE_H,
+        ));
+    }
+
+    // --- free segments per row ------------------------------------------------
+    let mut segments: Vec<Segment> = Vec::new();
+    for r in 0..rows {
+        let y = i64::from(r) * SITE_H;
+        let row_span = Interval::new(0, i64::from(sites_per_row));
+        // Subtract blockages overlapping this row (in site units).
+        let mut cuts: Vec<Interval> = blockages
+            .iter()
+            .filter(|blk| blk.y_span().overlaps(&Interval::new(y, y + SITE_H)))
+            .map(|blk| Interval::new(blk.lo.x / SITE_W, (blk.hi.x + SITE_W - 1) / SITE_W))
+            .collect();
+        cuts.sort_by_key(|c| c.lo);
+        let mut cursor = row_span.lo;
+        for cut in cuts.iter().chain(std::iter::once(&Interval::new(
+            row_span.hi,
+            row_span.hi,
+        ))) {
+            let free_end = cut.lo.min(row_span.hi).max(cursor);
+            if free_end > cursor {
+                segments.push(Segment { row: r, start: cursor, len: free_end - cursor, used: 0 });
+            }
+            cursor = cursor.max(cut.hi);
+        }
+    }
+
+    // --- assign cells to segments (first-fit over a rotating cursor) ----------
+    let mut order: Vec<usize> = (0..profile.cells).collect();
+    order.shuffle(&mut rng);
+    let mut content: Vec<Vec<usize>> = vec![Vec::new(); segments.len()];
+    let mut cursor = 0usize;
+    for &cell_idx in &order {
+        let w = macro_sites[choices[cell_idx]];
+        let mut placed = false;
+        for probe in 0..segments.len() {
+            let s = (cursor + probe) % segments.len();
+            if segments[s].used + w <= segments[s].len {
+                segments[s].used += w;
+                content[s].push(cell_idx);
+                cursor = (s + 1) % segments.len();
+                placed = true;
+                break;
+            }
+        }
+        assert!(placed, "floorplan too small: utilization {} unreachable", profile.utilization);
+    }
+
+    // --- place with randomized whitespace --------------------------------------
+    let mut origin_of = vec![Point::ORIGIN; profile.cells];
+    let mut cell_ids: Vec<Option<CellId>> = vec![None; profile.cells];
+    for (s, seg) in segments.iter().enumerate() {
+        let free = seg.len - seg.used;
+        let mut gaps = vec![0i64; content[s].len() + 1];
+        for _ in 0..free {
+            let g = rng.gen_range(0..gaps.len());
+            gaps[g] += 1;
+        }
+        let y = i64::from(seg.row) * SITE_H;
+        let mut x_sites = seg.start;
+        for (k, &cell_idx) in content[s].iter().enumerate() {
+            x_sites += gaps[k];
+            let pos = Point::new(x_sites * SITE_W, y);
+            origin_of[cell_idx] = pos;
+            cell_ids[cell_idx] =
+                Some(b.add_cell(format!("u{cell_idx}"), lib[choices[cell_idx]], pos));
+            x_sites += macro_sites[choices[cell_idx]];
+        }
+    }
+    let cell_ids: Vec<CellId> =
+        cell_ids.into_iter().map(|c| c.expect("every cell placed")).collect();
+
+    for blk in &blockages {
+        b.add_blockage(*blk);
+    }
+
+    // --- connectivity ------------------------------------------------------------
+    let hotspot_centers: Vec<Point> = (0..profile.hotspots.max(1))
+        .map(|_| {
+            Point::new(
+                rng.gen_range(die_w / 5..die_w * 4 / 5),
+                rng.gen_range(die_h / 5..die_h * 4 / 5),
+            )
+        })
+        .collect();
+    let hotspot_radius = (die_w.min(die_h) / 8).max(SITE_H);
+    let local_radius = (die_w.min(die_h) / 6).max(2 * SITE_H);
+
+    // Spatial buckets for radius queries.
+    let tile = local_radius.max(1);
+    let tiles_x = (die_w / tile + 1) as usize;
+    let tiles_y = (die_h / tile + 1) as usize;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); tiles_x * tiles_y];
+    for (i, p) in origin_of.iter().enumerate() {
+        buckets[(p.y / tile) as usize * tiles_x + (p.x / tile) as usize].push(i);
+    }
+
+    let nearby = |rng: &mut StdRng, center: Point, radius: i64, exclude: &[usize]| -> Option<usize> {
+        let bx0 = ((center.x - radius).max(0) / tile) as usize;
+        let bx1 = (((center.x + radius).max(0) / tile) as usize).min(tiles_x - 1);
+        let by0 = ((center.y - radius).max(0) / tile) as usize;
+        let by1 = (((center.y + radius).max(0) / tile) as usize).min(tiles_y - 1);
+        let mut pool: Vec<usize> = Vec::new();
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                pool.extend(
+                    buckets[by * tiles_x + bx]
+                        .iter()
+                        .copied()
+                        .filter(|i| {
+                            origin_of[*i].manhattan(center) <= 2 * radius && !exclude.contains(i)
+                        }),
+                );
+            }
+        }
+        (!pool.is_empty()).then(|| pool[rng.gen_range(0..pool.len())])
+    };
+
+    let n_cells = cell_ids.len();
+    for net_idx in 0..profile.nets {
+        let net = b.add_net(format!("n{net_idx}"));
+        let degree = pick_degree(&mut rng);
+        let hot = rng.gen_bool(profile.hotspot_net_fraction);
+        let (root, radius) = if hot {
+            let c = hotspot_centers[rng.gen_range(0..hotspot_centers.len())];
+            let root = nearby(&mut rng, c, hotspot_radius, &[])
+                .unwrap_or_else(|| rng.gen_range(0..n_cells));
+            (root, hotspot_radius)
+        } else {
+            let radius = match profile.netlist_style {
+                crate::profiles::NetlistStyle::Proximity => local_radius,
+                crate::profiles::NetlistStyle::Clustered => {
+                    // Rent-style: radius doubles with geometric probability
+                    // 1/2, capped at the die span.
+                    let mut r = local_radius / 2;
+                    while r < die_w.max(die_h) && rng.gen_bool(0.5) {
+                        r *= 2;
+                    }
+                    r.min(die_w.max(die_h))
+                }
+            };
+            (rng.gen_range(0..n_cells), radius)
+        };
+
+        let mut members = vec![root];
+        for k in 1..degree {
+            let far = rng.gen_bool(profile.far_net_fraction) && k == degree - 1 && !hot;
+            let next = if far {
+                rng.gen_range(0..n_cells)
+            } else {
+                nearby(&mut rng, origin_of[root], radius, &members)
+                    .unwrap_or_else(|| rng.gen_range(0..n_cells))
+            };
+            if !members.contains(&next) {
+                members.push(next);
+            }
+        }
+
+        // Root drives from its last macro pin (the output), sinks receive
+        // on a random input pin.
+        connect_member(&mut b, net, cell_ids[root], true, &mut rng);
+        for &m in &members[1..] {
+            connect_member(&mut b, net, cell_ids[m], false, &mut rng);
+        }
+
+        if rng.gen_bool(profile.io_net_fraction) {
+            let pos = match rng.gen_range(0..4u32) {
+                0 => Point::new(0, rng.gen_range(0..die_h)),
+                1 => Point::new(die_w - 1, rng.gen_range(0..die_h)),
+                2 => Point::new(rng.gen_range(0..die_w), 0),
+                _ => Point::new(rng.gen_range(0..die_w), die_h - 1),
+            };
+            b.connect_io(net, pos, 4);
+        }
+    }
+
+    let mut design = b.build();
+    // Close the optimization slack a raw random placement would leave:
+    // real ISPD-2018 inputs come from a placer, so connected cells sit
+    // near their net medians already. Two greedy refinement passes bring
+    // the synthetic placement into that regime.
+    crate::refine::refine_placement(&mut design, profile.refine_passes, &mut rng);
+    design
+}
+
+fn connect_member(b: &mut DesignBuilder, net: NetId, cell: CellId, driver: bool, rng: &mut StdRng) {
+    let num_pins = b.cell_macro(cell).pins.len();
+    debug_assert!(num_pins > 0, "library macros all have pins");
+    let pin_idx = if driver || num_pins == 1 {
+        num_pins - 1
+    } else {
+        rng.gen_range(0..num_pins - 1)
+    };
+    b.connect_index(net, cell, pin_idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ispd18_profiles;
+    use crp_netlist::check_legality;
+
+    fn small(i: usize) -> Profile {
+        ispd18_profiles()[i].scaled(400.0)
+    }
+
+    #[test]
+    fn generated_design_is_legal() {
+        for i in [0, 1, 6, 9] {
+            let p = small(i);
+            let d = p.generate();
+            let v = check_legality(&d);
+            assert!(v.is_empty(), "{}: violations {:?}", p.name, &v[..v.len().min(5)]);
+        }
+    }
+
+    #[test]
+    fn counts_match_profile() {
+        let p = small(3);
+        let d = p.generate();
+        assert_eq!(d.num_cells(), p.cells);
+        assert_eq!(d.num_nets(), p.nets);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let p = small(4);
+        let a = p.generate();
+        let b = p.generate();
+        assert_eq!(a.num_pins(), b.num_pins());
+        assert_eq!(crp_netlist::total_hpwl(&a), crp_netlist::total_hpwl(&b));
+        for (id, cell) in a.cells() {
+            assert_eq!(cell.pos, b.cell(id).pos);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = small(4);
+        let mut q = p.clone();
+        q.seed += 1000;
+        assert_ne!(
+            crp_netlist::total_hpwl(&p.generate()),
+            crp_netlist::total_hpwl(&q.generate())
+        );
+    }
+
+    #[test]
+    fn utilization_close_to_target() {
+        let p = small(6);
+        let d = p.generate();
+        let u = d.utilization();
+        assert!(
+            (u - p.utilization).abs() < 0.1,
+            "target {} achieved {u}",
+            p.utilization
+        );
+    }
+
+    #[test]
+    fn every_net_has_pins() {
+        let d = small(2).generate();
+        for (_, net) in d.nets() {
+            assert!(!net.pins.is_empty());
+        }
+    }
+
+    #[test]
+    fn blockage_profiles_have_blockages_and_stay_legal() {
+        let p = small(9); // test10: 3 blockages
+        let d = p.generate();
+        assert_eq!(d.blockages.len(), 3);
+        assert!(check_legality(&d).is_empty());
+    }
+
+    #[test]
+    fn nets_are_mostly_local() {
+        let p = small(5);
+        let d = p.generate();
+        let die_span = d.die.width() + d.die.height();
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for n in d.net_ids() {
+            let hp = crp_netlist::net_hpwl(&d, n);
+            total += 1;
+            if hp < die_span / 3 {
+                local += 1;
+            }
+        }
+        assert!(
+            local * 10 >= total * 6,
+            "expected >=60% local nets, got {local}/{total}"
+        );
+    }
+
+    #[test]
+    fn clustered_style_generates_longer_net_tail() {
+        use crate::profiles::NetlistStyle;
+        let base = small(3);
+        let mut clustered = base.clone();
+        clustered.netlist_style = NetlistStyle::Clustered;
+        let d_prox = base.generate();
+        let d_clus = clustered.generate();
+        assert!(check_legality(&d_clus).is_empty());
+        let long_fraction = |d: &crp_netlist::Design| {
+            let span = (d.die.width() + d.die.height()) / 2;
+            let long = d
+                .net_ids()
+                .filter(|&n| crp_netlist::net_hpwl(d, n) > span / 2)
+                .count();
+            long as f64 / d.num_nets() as f64
+        };
+        assert!(
+            long_fraction(&d_clus) >= long_fraction(&d_prox),
+            "clustered should have at least as heavy a long-net tail: {} vs {}",
+            long_fraction(&d_clus),
+            long_fraction(&d_prox)
+        );
+    }
+
+    #[test]
+    fn hot_profile_is_more_congested_in_hpwl_density() {
+        // The hotspot-heavy profile concentrates pins: its densest gcell
+        // region should carry a larger share of total pin count.
+        let cool = small(1).generate(); // test2 analogue
+        let hot = small(9).generate(); // test10 analogue
+        let share = |d: &Design| {
+            let g = 6000i64;
+            let nx = (d.die.width() / g + 1) as usize;
+            let ny = (d.die.height() / g + 1) as usize;
+            let mut counts = vec![0u32; nx * ny];
+            for (_, net) in d.nets() {
+                for &p in &net.pins {
+                    let pos = d.pin_position(p);
+                    let ix = ((pos.x / g) as usize).min(nx - 1);
+                    let iy = ((pos.y / g) as usize).min(ny - 1);
+                    counts[iy * nx + ix] += 1;
+                }
+            }
+            let max = *counts.iter().max().unwrap_or(&0) as f64;
+            let total: u32 = counts.iter().sum();
+            max / f64::from(total.max(1)) * counts.len() as f64
+        };
+        assert!(
+            share(&hot) > share(&cool),
+            "hot profile should have a denser peak (cool {} vs hot {})",
+            share(&cool),
+            share(&hot)
+        );
+    }
+}

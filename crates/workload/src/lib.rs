@@ -1,0 +1,36 @@
+//! Synthetic ISPD-2018-profile benchmarks.
+//!
+//! The paper evaluates on the ISPD-2018 detailed-routing contest designs
+//! (Table II). Those LEF/DEF files are not redistributable, so this crate
+//! generates **deterministic synthetic designs with the same profile**:
+//! per-benchmark cell/net counts (scaled), utilization, net locality, and
+//! congestion character (uniform for the `test2`/`test3` analogues,
+//! hotspot-heavy for the large `test7`–`test10` analogues). CR&P only ever
+//! observes the GCell-graph abstraction of a design, so matching these
+//! distributions preserves the behaviour the experiments measure.
+//!
+//! Every profile generates a **legal** placement
+//! ([`crp_netlist::check_legality`] returns empty) with a fixed RNG seed:
+//! the same profile always yields the identical design.
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_workload::{ispd18_profiles, Profile};
+//!
+//! let profiles = ispd18_profiles();
+//! assert_eq!(profiles.len(), 10);
+//! let design = profiles[0].scaled(100.0).generate();
+//! assert!(crp_netlist::check_legality(&design).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod profiles;
+mod refine;
+
+pub use generator::generate;
+pub use profiles::{ispd18_profiles, NetlistStyle, Profile};
+pub use refine::refine_placement;

@@ -1,0 +1,167 @@
+//! The ten ISPD-2018 benchmark profiles (Table II analogues).
+
+use crate::generator::generate;
+use crp_netlist::Design;
+use serde::{Deserialize, Serialize};
+
+/// How net terminals are drawn around each net's root cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetlistStyle {
+    /// Partners within a fixed locality radius (the calibrated default).
+    #[default]
+    Proximity,
+    /// Rent-style hierarchy: the partner radius is drawn from a geometric
+    /// distribution over doubling scales, giving the power-law mix of
+    /// short and long nets real hierarchical netlists show. A robustness
+    /// knob: the Table III shape should survive switching to it.
+    Clustered,
+}
+
+/// A synthetic benchmark profile: the knobs that shape a generated design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Benchmark name, e.g. `"ispd18_test7"`.
+    pub name: String,
+    /// Number of movable cells.
+    pub cells: usize,
+    /// Number of signal nets.
+    pub nets: usize,
+    /// Target placement utilization (cell area / row area).
+    pub utilization: f64,
+    /// Fraction of nets whose terminals cluster inside a congestion
+    /// hotspot (drives the non-uniform demand the large benchmarks show).
+    pub hotspot_net_fraction: f64,
+    /// Number of hotspot regions.
+    pub hotspots: usize,
+    /// Fraction of nets with one far (die-spanning) terminal.
+    pub far_net_fraction: f64,
+    /// Fraction of nets with an I/O pad on the die boundary.
+    pub io_net_fraction: f64,
+    /// Number of placement/routing blockage rectangles.
+    pub blockages: usize,
+    /// RNG seed (generation is fully deterministic given the profile).
+    pub seed: u64,
+    /// Greedy median-refinement passes applied to the raw placement, so
+    /// the input has placer-quality HPWL (ISPD-2018 inputs are placed).
+    pub refine_passes: usize,
+    /// How net terminals are distributed (see [`NetlistStyle`]).
+    pub netlist_style: NetlistStyle,
+}
+
+impl Profile {
+    /// Returns a copy with cell and net counts divided by `divisor`.
+    ///
+    /// The structural knobs (utilization, hotspots, fractions) are kept, so
+    /// the scaled design preserves the original's congestion character.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is not positive.
+    #[must_use]
+    pub fn scaled(&self, divisor: f64) -> Profile {
+        assert!(divisor > 0.0, "scale divisor must be positive");
+        Profile {
+            cells: ((self.cells as f64 / divisor) as usize).max(16),
+            nets: ((self.nets as f64 / divisor) as usize).max(8),
+            ..self.clone()
+        }
+    }
+
+    /// Generates the deterministic design for this profile.
+    #[must_use]
+    pub fn generate(&self) -> Design {
+        generate(self)
+    }
+}
+
+/// The ten profiles mirroring ISPD-2018 Table II (full-size counts).
+///
+/// Congestion character follows the paper's observations: the `test2` /
+/// `test3` analogues are the least congested (where the median-move
+/// baseline \[18\] wins), the `test7`–`test10` analogues are the most
+/// congested (where CR&P wins), and `test10` is the largest.
+#[must_use]
+pub fn ispd18_profiles() -> Vec<Profile> {
+    let p = |name: &str,
+             cells: usize,
+             nets: usize,
+             utilization: f64,
+             hotspot_net_fraction: f64,
+             hotspots: usize,
+             blockages: usize,
+             seed: u64| Profile {
+        name: name.to_owned(),
+        cells,
+        nets,
+        utilization,
+        hotspot_net_fraction,
+        hotspots,
+        far_net_fraction: 0.06,
+        io_net_fraction: 0.02,
+        blockages,
+        seed,
+        refine_passes: 5,
+        netlist_style: NetlistStyle::default(),
+    };
+    vec![
+        p("ispd18_test1", 8_000, 3_000, 0.62, 0.10, 1, 0, 1),
+        p("ispd18_test2", 35_000, 36_000, 0.52, 0.04, 1, 0, 2),
+        p("ispd18_test3", 35_000, 36_000, 0.54, 0.05, 1, 2, 3),
+        p("ispd18_test4", 72_000, 72_000, 0.68, 0.14, 2, 0, 4),
+        p("ispd18_test5", 71_000, 72_000, 0.70, 0.16, 2, 0, 5),
+        p("ispd18_test6", 107_000, 107_000, 0.72, 0.16, 3, 0, 6),
+        p("ispd18_test7", 179_000, 179_000, 0.76, 0.21, 3, 0, 7),
+        p("ispd18_test8", 192_000, 179_000, 0.78, 0.22, 4, 2, 8),
+        p("ispd18_test9", 192_000, 178_000, 0.78, 0.22, 4, 2, 9),
+        p("ispd18_test10", 290_000, 182_000, 0.82, 0.26, 5, 3, 10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_matching_table2_counts() {
+        let ps = ispd18_profiles();
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps[0].cells, 8_000);
+        assert_eq!(ps[0].nets, 3_000);
+        assert_eq!(ps[9].cells, 290_000);
+        assert_eq!(ps[9].nets, 182_000);
+    }
+
+    #[test]
+    fn congestion_character_ordering() {
+        let ps = ispd18_profiles();
+        // test2 analogue is the least congested, test10 the most.
+        let t2 = &ps[1];
+        let t10 = &ps[9];
+        assert!(t2.utilization < t10.utilization);
+        assert!(t2.hotspot_net_fraction < t10.hotspot_net_fraction);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let p = &ispd18_profiles()[6];
+        let s = p.scaled(100.0);
+        assert_eq!(s.cells, 1_790);
+        assert_eq!(s.nets, 1_790);
+        assert_eq!(s.utilization, p.utilization);
+        assert_eq!(s.seed, p.seed);
+    }
+
+    #[test]
+    fn scaled_never_degenerates() {
+        let p = &ispd18_profiles()[0];
+        let s = p.scaled(1e9);
+        assert!(s.cells >= 16);
+        assert!(s.nets >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_panics() {
+        let _ = ispd18_profiles()[0].scaled(0.0);
+    }
+}

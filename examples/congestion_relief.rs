@@ -1,0 +1,82 @@
+//! Congestion relief: run CR&P on a hotspot-heavy benchmark and watch the
+//! overflow, via count, and congestion map improve iteration by iteration.
+//!
+//! ```text
+//! cargo run -p crp-bench --example congestion_relief --release
+//! ```
+
+use crp_core::{Crp, CrpConfig};
+use crp_drouter::{evaluate, DetailedRouter, DrConfig};
+use crp_grid::{GridConfig, RouteGrid};
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+
+/// Renders the congestion snapshot as a coarse ASCII heat map.
+fn heat_map(grid: &RouteGrid) -> String {
+    let snap = grid.congestion();
+    let (nx, ny) = snap.dims;
+    let mut out = String::new();
+    // Downsample to at most 48 columns.
+    let step = (usize::from(nx) / 48).max(1);
+    for y in (0..usize::from(ny)).rev().step_by(step) {
+        for x in (0..usize::from(nx)).step_by(step) {
+            let r = snap.ratio[y * usize::from(nx) + x];
+            out.push(match r {
+                r if r >= 1.0 => '#',
+                r if r >= 0.8 => '+',
+                r if r >= 0.5 => '.',
+                _ => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    // The ispd18_test7 analogue: congested, hotspot-heavy.
+    let profile = ispd18_profiles()[6].scaled(200.0);
+    let mut design = profile.generate();
+    println!(
+        "{}: {} cells, {} nets, utilization {:.2}",
+        design.name,
+        design.num_cells(),
+        design.num_nets(),
+        design.utilization()
+    );
+
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let mut routing = router.route_all(&design, &mut grid);
+
+    let before = grid.congestion();
+    println!("\nafter global routing: overflow {:.1} on {} edges", before.total_overflow, before.overflowed_edges);
+    println!("{}", heat_map(&grid));
+
+    let dr = DetailedRouter::new(DrConfig::default());
+    let base = evaluate(&dr.run(&design, &grid, &routing));
+    println!("baseline detailed routing: {base}");
+
+    let mut crp = Crp::new(CrpConfig::default());
+    for i in 0..5 {
+        let r = crp.run_iteration(i, &mut design, &mut grid, &mut router, &mut routing);
+        let snap = grid.congestion();
+        println!(
+            "iter {i}: moved {:>3} cells, rerouted {:>3} nets, overflow {:>7.1}, cost {:.0}",
+            r.moved_cells, r.rerouted_nets, snap.total_overflow, r.cost_after
+        );
+    }
+
+    let after_snap = grid.congestion();
+    println!("\nafter CR&P: overflow {:.1} on {} edges", after_snap.total_overflow, after_snap.overflowed_edges);
+    println!("{}", heat_map(&grid));
+
+    let after = evaluate(&dr.run(&design, &grid, &routing));
+    println!("CR&P detailed routing:     {after}");
+    let pct = |b: f64, a: f64| (b - a) / b * 100.0;
+    println!(
+        "improvement: wirelength {:+.2}%, vias {:+.2}%",
+        pct(base.wirelength_dbu as f64, after.wirelength_dbu as f64),
+        pct(base.vias as f64, after.vias as f64),
+    );
+}

@@ -1,0 +1,50 @@
+//! Flow comparison: baseline vs the median-move state of the art [18] vs
+//! CR&P, on one benchmark profile — a single-benchmark slice of Table III.
+//!
+//! ```text
+//! cargo run -p crp-bench --example flow_compare --release [-- <profile 1-10>]
+//! ```
+
+use crp_bench::{FlowOutcome, FlowRunner};
+use crp_drouter::Score;
+use crp_workload::ispd18_profiles;
+
+fn main() {
+    let index: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .map(|i: usize| i.clamp(1, 10) - 1)
+        .unwrap_or(4); // ispd18_test5 analogue by default
+    let profile = ispd18_profiles()[index].scaled(200.0);
+    println!("comparing flows on {} (scaled)", profile.name);
+
+    let runner = FlowRunner::default();
+    let baseline = runner.run_baseline(&profile);
+    let median = runner.run_median(&profile);
+    let k1 = runner.run_crp(&profile, 1);
+    let k10 = runner.run_crp(&profile, 10);
+
+    println!(
+        "{:<12} {:>14} {:>8} {:>6} {:>9} {:>8}",
+        "flow", "wirelength", "vias", "DRVs", "score", "time"
+    );
+    for r in [&baseline, &median, &k1, &k10] {
+        let flag = if r.outcome == FlowOutcome::Failed { " (FAILED)" } else { "" };
+        println!(
+            "{:<12} {:>14} {:>8} {:>6} {:>9.1} {:>7.2}s{flag}",
+            r.flow,
+            r.score.wirelength_dbu,
+            r.score.vias,
+            r.score.drvs,
+            r.score.weighted,
+            r.total_time().as_secs_f64(),
+        );
+    }
+
+    let pct = Score::improvement_pct;
+    println!(
+        "\nCR&P k=10 vs baseline: wirelength {:+.2}%, vias {:+.2}%",
+        pct(baseline.score.wirelength_dbu as f64, k10.score.wirelength_dbu as f64),
+        pct(baseline.score.vias as f64, k10.score.vias as f64),
+    );
+}

@@ -1,0 +1,62 @@
+//! LEF/DEF interchange: write a generated benchmark as LEF + DEF + route
+//! guides (the paper's input/output file formats), read the pair back, and
+//! verify the restored design routes identically.
+//!
+//! ```text
+//! cargo run -p crp-bench --example lefdef_roundtrip --release
+//! ```
+
+use crp_grid::{GridConfig, RouteGrid};
+use crp_lefdef::{parse_def, parse_lef, write_def, write_guides, write_lef};
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = ispd18_profiles()[0].scaled(200.0).generate();
+
+    // Route the original design.
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let routing = router.route_all(&design, &mut grid);
+
+    // Emit the interchange files.
+    let dir = std::env::temp_dir().join("crp_lefdef_roundtrip");
+    fs::create_dir_all(&dir)?;
+    let lef = write_lef(&design);
+    let def = write_def(&design);
+    let guides = write_guides(&design, &grid, &routing);
+    fs::write(dir.join("tech.lef"), &lef)?;
+    fs::write(dir.join("design.def"), &def)?;
+    fs::write(dir.join("design.guide"), &guides)?;
+    println!(
+        "wrote {} ({} B), {} ({} B), {} ({} B)",
+        dir.join("tech.lef").display(),
+        lef.len(),
+        dir.join("design.def").display(),
+        def.len(),
+        dir.join("design.guide").display(),
+        guides.len()
+    );
+
+    // Read back and re-route.
+    let tech = parse_lef(&fs::read_to_string(dir.join("tech.lef"))?)?;
+    let restored = parse_def(&fs::read_to_string(dir.join("design.def"))?, &tech)?;
+    assert_eq!(restored.num_cells(), design.num_cells());
+    assert_eq!(restored.num_nets(), design.num_nets());
+    assert_eq!(crp_netlist::total_hpwl(&restored), crp_netlist::total_hpwl(&design));
+
+    let mut grid2 = RouteGrid::new(&restored, GridConfig::default());
+    let mut router2 = GlobalRouter::new(RouterConfig::default());
+    let routing2 = router2.route_all(&restored, &mut grid2);
+    assert_eq!(routing.total_wirelength(), routing2.total_wirelength());
+    assert_eq!(routing.total_vias(), routing2.total_vias());
+    println!(
+        "roundtrip OK: {} cells, {} nets, re-routed to identical {} gcells wire / {} vias",
+        restored.num_cells(),
+        restored.num_nets(),
+        routing2.total_wirelength(),
+        routing2.total_vias()
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a tiny design, route it, run CR&P, and score the
+//! result with the ISPD-2018-style evaluator.
+//!
+//! ```text
+//! cargo run -p crp-bench --example quickstart --release
+//! ```
+
+use crp_core::{Crp, CrpConfig};
+use crp_drouter::{evaluate, DetailedRouter, DrConfig};
+use crp_geom::Point;
+use crp_grid::{GridConfig, RouteGrid};
+use crp_netlist::{check_legality, DesignBuilder, MacroCell};
+use crp_router::{GlobalRouter, RouterConfig};
+
+fn main() {
+    // 1. Describe a small placed design: a site, two library macros, a few
+    //    rows, some cells, and nets connecting them.
+    let mut b = DesignBuilder::new("quickstart", 1000);
+    b.site(200, 2000);
+    let inv = b.add_macro(
+        MacroCell::new("INV_X1", 200, 2000)
+            .with_pin("A", 50, 1000, 0)
+            .with_pin("Y", 150, 1000, 0),
+    );
+    let nand = b.add_macro(
+        MacroCell::new("NAND2_X1", 400, 2000)
+            .with_pin("A", 50, 600, 0)
+            .with_pin("B", 150, 1400, 0)
+            .with_pin("Y", 350, 1000, 0),
+    );
+    b.add_rows(12, 150, Point::new(0, 0)); // 30_000 x 24_000 DBU die
+
+    let cells: Vec<_> = (0..24)
+        .map(|i| {
+            let m = if i % 3 == 0 { nand } else { inv };
+            let x = (i % 6) * 4_000;
+            let y = (i / 6) * 2_000 * 2;
+            b.add_cell(format!("u{i}"), m, Point::new(x, y))
+        })
+        .collect();
+    for i in 0..cells.len() - 1 {
+        let n = b.add_net(format!("n{i}"));
+        b.connect(n, cells[i], "Y");
+        b.connect(n, cells[i + 1], "A");
+    }
+    let mut design = b.build();
+    assert!(check_legality(&design).is_empty());
+    println!("design: {} cells, {} nets", design.num_cells(), design.num_nets());
+
+    // 2. Global-route on the GCell grid.
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let mut routing = router.route_all(&design, &mut grid);
+    println!(
+        "global routing: {} gcells of wire, {} vias, Eq.1 cost {:.1}",
+        routing.total_wirelength(),
+        routing.total_vias(),
+        routing.total_cost(&grid)
+    );
+
+    // 3. Run CR&P for three iterations.
+    let mut crp = Crp::new(CrpConfig::default());
+    for report in crp.run(3, &mut design, &mut grid, &mut router, &mut routing) {
+        println!(
+            "  iter {}: {} critical cells, {} moved, cost {:.1} -> {:.1}",
+            report.iteration,
+            report.critical_cells,
+            report.moved_cells,
+            report.cost_before,
+            report.cost_after
+        );
+    }
+    assert!(check_legality(&design).is_empty(), "CR&P must keep the placement legal");
+
+    // 4. Detailed-route and score.
+    let result = DetailedRouter::new(DrConfig::default()).run(&design, &grid, &routing);
+    let score = evaluate(&result);
+    println!("detailed routing: {score}");
+}

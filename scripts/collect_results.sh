@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure into results/*.txt.
+# Usage: scripts/collect_results.sh [scale]   (default CRP_SCALE=100)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CRP_SCALE="${1:-100}"
+mkdir -p results
+for target in table2 table3 figure2 figure3 ablations; do
+    echo "== $target (scale 1/$CRP_SCALE) =="
+    cargo run --release -p crp-bench --bin "$target" 2>/dev/null | tee "results/$target.txt"
+done

@@ -1,0 +1,98 @@
+//! LEF/DEF/guide interchange across the whole flow: serialized designs
+//! must reproduce identical routing results after parsing.
+
+use crp_grid::{GridConfig, RouteGrid};
+use crp_lefdef::{parse_def, parse_lef, write_def, write_guides, write_lef};
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+
+#[test]
+fn roundtrip_preserves_routing_for_every_profile() {
+    for profile in ispd18_profiles().iter().take(4) {
+        let design = profile.scaled(800.0).generate();
+        let tech = parse_lef(&write_lef(&design)).expect("lef roundtrip");
+        let restored = parse_def(&write_def(&design), &tech).expect("def roundtrip");
+
+        assert_eq!(restored.num_cells(), design.num_cells());
+        assert_eq!(restored.num_nets(), design.num_nets());
+        assert_eq!(restored.num_pins(), design.num_pins());
+        assert_eq!(crp_netlist::total_hpwl(&restored), crp_netlist::total_hpwl(&design));
+
+        let route = |d: &crp_netlist::Design| {
+            let mut grid = RouteGrid::new(d, GridConfig::default());
+            let mut router = GlobalRouter::new(RouterConfig::default());
+            let routing = router.route_all(d, &mut grid);
+            (routing.total_wirelength(), routing.total_vias())
+        };
+        assert_eq!(route(&design), route(&restored), "{}", profile.name);
+    }
+}
+
+#[test]
+fn guides_cover_every_pin_of_every_net() {
+    let design = ispd18_profiles()[1].scaled(800.0).generate();
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let routing = router.route_all(&design, &mut grid);
+    let guides = write_guides(&design, &grid, &routing);
+
+    // Parse the guide text back into (net -> rects) and check coverage.
+    let mut lines = guides.lines().peekable();
+    let mut nets_seen = 0;
+    while let Some(name) = lines.next() {
+        assert_eq!(lines.next(), Some("("), "guide block for {name} must open");
+        let mut rects: Vec<(i64, i64, i64, i64)> = Vec::new();
+        for line in lines.by_ref() {
+            if line == ")" {
+                break;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(f.len(), 5, "bad guide line {line}");
+            rects.push((
+                f[0].parse().unwrap(),
+                f[1].parse().unwrap(),
+                f[2].parse().unwrap(),
+                f[3].parse().unwrap(),
+            ));
+        }
+        let net = design
+            .nets()
+            .find(|(_, n)| n.name == name)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("guide names unknown net {name}"));
+        for &pin in &design.net(net).pins {
+            let p = design.pin_position(pin);
+            // Single-gcell nets have no guide rects; they need none.
+            if rects.is_empty() {
+                continue;
+            }
+            assert!(
+                rects.iter().any(|&(x0, y0, x1, y1)| {
+                    p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1
+                }),
+                "pin of {name} at {p} not covered"
+            );
+        }
+        nets_seen += 1;
+    }
+    assert_eq!(nets_seen, design.num_nets());
+}
+
+#[test]
+fn def_written_after_crp_is_still_parseable_and_legal() {
+    use crp_core::{Crp, CrpConfig};
+    let mut design = ispd18_profiles()[2].scaled(800.0).generate();
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let mut routing = router.route_all(&design, &mut grid);
+    let mut crp = Crp::new(CrpConfig::default());
+    crp.run(2, &mut design, &mut grid, &mut router, &mut routing);
+
+    // The paper's output artifact: a DEF with the new positions.
+    let tech = parse_lef(&write_lef(&design)).expect("lef");
+    let restored = parse_def(&write_def(&design), &tech).expect("def");
+    assert!(crp_netlist::check_legality(&restored).is_empty());
+    for (id, cell) in design.cells() {
+        assert_eq!(restored.cell(id).pos, cell.pos, "{} moved in transit", cell.name);
+    }
+}
