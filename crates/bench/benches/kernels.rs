@@ -42,7 +42,9 @@ fn bench_rsmt(c: &mut Criterion) {
     let terms8: Vec<Point> = (0..8)
         .map(|i| Point::new((i * 37) % 100, (i * 61) % 100))
         .collect();
-    c.bench_function("rsmt/8_terminals", |b| b.iter(|| black_box(rsmt(black_box(&terms8)))));
+    c.bench_function("rsmt/8_terminals", |b| {
+        b.iter(|| black_box(rsmt(black_box(&terms8))))
+    });
 }
 
 fn bench_pattern_route(c: &mut Criterion) {
@@ -96,8 +98,9 @@ fn bench_ilp(c: &mut Criterion) {
                 let mut m = Model::new();
                 let mut groups = Vec::new();
                 for g in 0..20 {
-                    let vars: Vec<_> =
-                        (0..5).map(|i| m.add_var(((g * 7 + i * 3) % 13) as f64)).collect();
+                    let vars: Vec<_> = (0..5)
+                        .map(|i| m.add_var(((g * 7 + i * 3) % 13) as f64))
+                        .collect();
                     groups.push(vars);
                 }
                 for g in 0..19 {
@@ -126,6 +129,86 @@ fn bench_global_route(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+}
+
+fn bench_estimate_phase(c: &mut Criterion) {
+    use crp_core::{
+        estimate_candidates_cached, estimate_candidates_chunked, label_critical_cells, Candidate,
+        PriceCache,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    // Congested workload (the profile the paper's congestion plots use):
+    // pricing here is dominated by discounted pattern routing.
+    let design = ispd18_profiles()[6].scaled(400.0).generate();
+    let mut grid = RouteGrid::new(&design, GridConfig::default());
+    let mut router = GlobalRouter::new(RouterConfig::default());
+    let routing = router.route_all(&design, &mut grid);
+    let config = CrpConfig::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let critical = label_critical_cells(
+        &design,
+        &grid,
+        &routing,
+        &config,
+        &HashSet::new(),
+        &HashSet::new(),
+        &mut rng,
+    );
+    let legalizer = Legalizer::new(&design, &config);
+    let per_cell: Vec<Vec<Candidate>> = critical
+        .iter()
+        .map(|&cell| {
+            let mut cands = vec![Candidate::stay(&design, cell)];
+            cands.extend(legalizer.candidates_for(cell));
+            cands
+        })
+        .collect();
+
+    // The seed implementation: fixed chunks, fresh allocations, no memo.
+    c.bench_function("crp/estimate_chunked_baseline", |b| {
+        b.iter_batched(
+            || per_cell.clone(),
+            |mut pc| {
+                estimate_candidates_chunked(&design, &grid, &routing, &mut pc, &config);
+                black_box(pc)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Work stealing + per-worker scratch + persistent price cache. The
+    // cache stays warm across bench iterations, mirroring the flow's
+    // steady state where most nets' congestion is untouched between
+    // iterations.
+    let cache = PriceCache::new();
+    c.bench_function("crp/estimate_work_stealing_cached", |b| {
+        b.iter_batched(
+            || per_cell.clone(),
+            |mut pc| {
+                estimate_candidates_cached(
+                    &design,
+                    &grid,
+                    &routing,
+                    &mut pc,
+                    &config,
+                    Some(&cache),
+                );
+                black_box(pc)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let (h, m) = (cache.hits(), cache.misses());
+    #[allow(clippy::cast_precision_loss)]
+    let rate = if h + m > 0 {
+        h as f64 / (h + m) as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!("estimate price cache: {h} hits / {m} misses ({rate:.1}% hit rate)");
 }
 
 fn bench_crp_iteration(c: &mut Criterion) {
@@ -165,6 +248,7 @@ criterion_group! {
         bench_legalizer,
         bench_ilp,
         bench_global_route,
+        bench_estimate_phase,
         bench_crp_iteration
 }
 criterion_main!(benches);

@@ -29,7 +29,10 @@ fn main() {
     let report = |label: &str, r: &crp_bench::FlowResult| {
         println!(
             "{label:<38} WL {:+.2}%  vias {:+.2}%  DRVs {}  ({:.2}s)",
-            pct(baseline.score.wirelength_dbu as f64, r.score.wirelength_dbu as f64),
+            pct(
+                baseline.score.wirelength_dbu as f64,
+                r.score.wirelength_dbu as f64
+            ),
             pct(baseline.score.vias as f64, r.score.vias as f64),
             r.score.drvs,
             r.total_time().as_secs_f64(),
@@ -69,12 +72,18 @@ fn main() {
     for slope in [0.25, 1.0, 4.0] {
         let mut runner = FlowRunner::default();
         runner.grid.slope = slope;
-        report(&format!("  slope S = {slope}"), &runner.run_crp(&profile, k));
+        report(
+            &format!("  slope S = {slope}"),
+            &runner.run_crp(&profile, k),
+        );
     }
 
     // (f) DP layer assignment in the global router (CUGR-style tree DP vs
     // the default greedy per-segment assignment).
     let mut runner = FlowRunner::default();
     runner.router.layer_dp = true;
-    report("  router layer assignment = DP", &runner.run_crp(&profile, k));
+    report(
+        "  router layer assignment = DP",
+        &runner.run_crp(&profile, k),
+    );
 }

@@ -22,13 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|a| a.parse().ok())
         .map(|i: usize| i.clamp(1, 10) - 1)
         .unwrap_or(4);
-    let out: PathBuf =
-        args.next().map_or_else(|| PathBuf::from("results/artifacts"), PathBuf::from);
+    let out: PathBuf = args
+        .next()
+        .map_or_else(|| PathBuf::from("results/artifacts"), PathBuf::from);
     fs::create_dir_all(&out)?;
 
     let scale = crp_bench::default_scale();
     let mut design = ispd18_profiles()[index].scaled(scale).generate();
-    println!("emitting artifacts for {} into {}", design.name, out.display());
+    println!(
+        "emitting artifacts for {} into {}",
+        design.name,
+        out.display()
+    );
 
     fs::write(out.join("tech.lef"), write_lef(&design))?;
     fs::write(out.join("design.def"), write_def(&design))?;
@@ -42,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     crp.run(10, &mut design, &mut grid, &mut router, &mut routing);
 
     fs::write(out.join("design.crp.def"), write_def(&design))?;
-    fs::write(out.join("design.guide"), write_guides(&design, &grid, &routing))?;
+    fs::write(
+        out.join("design.guide"),
+        write_guides(&design, &grid, &routing),
+    )?;
     fs::write(out.join("congestion.after.csv"), grid.congestion_csv())?;
 
     for f in [

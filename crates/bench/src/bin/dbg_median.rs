@@ -5,15 +5,26 @@ use crp_workload::ispd18_profiles;
 use std::time::Instant;
 
 fn main() {
-    for (p, div, limit) in [(1usize, 800.0, 100_000_000u64), (1, 400.0, 100_000_000), (6, 400.0, 100_000_000)] {
+    for (p, div, limit) in [
+        (1usize, 800.0, 100_000_000u64),
+        (1, 400.0, 100_000_000),
+        (6, 400.0, 100_000_000),
+    ] {
         let mut design = ispd18_profiles()[p].scaled(div).generate();
         let mut grid = RouteGrid::new(&design, GridConfig::default());
         let mut router = GlobalRouter::new(RouterConfig::default());
         let mut routing = router.route_all(&design, &mut grid);
-        let mut cfg = MedianMoverConfig::default();
-        cfg.node_limit = limit;
+        let cfg = MedianMoverConfig {
+            node_limit: limit,
+            ..MedianMoverConfig::default()
+        };
         let t = Instant::now();
         let out = MedianMover::new(cfg).run(&mut design, &mut grid, &mut router, &mut routing);
-        println!("profile {p} /{div}: cells={} outcome={:?} in {:?}", design.num_cells(), out, t.elapsed());
+        println!(
+            "profile {p} /{div}: cells={} outcome={:?} in {:?}",
+            design.num_cells(),
+            out,
+            t.elapsed()
+        );
     }
 }

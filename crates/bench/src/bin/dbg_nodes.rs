@@ -7,17 +7,28 @@ use crp_workload::ispd18_profiles;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::var("CRP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let scale: f64 = std::env::var("CRP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
     for profile in ispd18_profiles() {
         let p = profile.scaled(scale);
         let mut design = p.generate();
         let mut grid = RouteGrid::new(&design, GridConfig::default());
         let mut router = GlobalRouter::new(RouterConfig::default());
         let mut routing = router.route_all(&design, &mut grid);
-        let mut cfg = MedianMoverConfig::default();
-        cfg.node_limit = u64::MAX;
+        let cfg = MedianMoverConfig {
+            node_limit: u64::MAX,
+            ..MedianMoverConfig::default()
+        };
         let t = Instant::now();
         let out = MedianMover::new(cfg).run(&mut design, &mut grid, &mut router, &mut routing);
-        println!("{:<15} cells={:<6} outcome={:?} in {:?}", p.name, design.num_cells(), out, t.elapsed());
+        println!(
+            "{:<15} cells={:<6} outcome={:?} in {:?}",
+            p.name,
+            design.num_cells(),
+            out,
+            t.elapsed()
+        );
     }
 }

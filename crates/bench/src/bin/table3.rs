@@ -76,7 +76,11 @@ fn main() {
             format!("{wl1:+.2}"),
             format!("{wl10:+.2}"),
             baseline.score.drvs,
-            if median_failed { "-".into() } else { median.score.drvs.to_string() },
+            if median_failed {
+                "-".into()
+            } else {
+                median.score.drvs.to_string()
+            },
             k1.score.drvs,
             k10.score.drvs,
             baseline.score.vias,
@@ -139,7 +143,12 @@ fn main() {
         let _ = std::fs::write("results/table3.json", records_to_json(&records));
         md.push_str(&format!(
             "| **Avg** | | {:+.2} | {:+.2} | {:+.2} | | | | | | {:+.2} | {:+.2} | {:+.2} |\n",
-            avg(0), avg(1), avg(2), avg(3), avg(4), avg(5)
+            avg(0),
+            avg(1),
+            avg(2),
+            avg(3),
+            avg(4),
+            avg(5)
         ));
         let _ = std::fs::write("results/table3.md", md);
         eprintln!("records written to results/table3.json and results/table3.md");

@@ -79,11 +79,13 @@ pub struct FlowRunner {
 
 impl Default for FlowRunner {
     fn default() -> FlowRunner {
-        let mut median = MedianMoverConfig::default();
         // The paper's [18] binary failed on the 290K-cell ispd18_test10
         // but handled the 192K-cell test8/test9; place the emulated cliff
         // between, scaled like the benchmarks.
-        median.max_cells = Some((250_000.0 / default_scale()).round() as usize);
+        let median = MedianMoverConfig {
+            max_cells: Some((250_000.0 / default_scale()).round() as usize),
+            ..MedianMoverConfig::default()
+        };
         FlowRunner {
             grid: GridConfig::default(),
             router: RouterConfig::default(),

@@ -72,7 +72,10 @@ impl Candidate {
         if cell == self.cell {
             return Some((self.pos, self.orient));
         }
-        self.moves.iter().find(|&&(c, _, _)| c == cell).map(|&(_, p, o)| (p, o))
+        self.moves
+            .iter()
+            .find(|&&(c, _, _)| c == cell)
+            .map(|&(_, p, o)| (p, o))
     }
 }
 
@@ -112,7 +115,8 @@ mod tests {
     fn claimed_rects_cover_all_moves() {
         let d = design();
         let mut c = Candidate::stay(&d, CellId(0));
-        c.moves.push((CellId(1), Point::new(1200, 0), Orientation::N));
+        c.moves
+            .push((CellId(1), Point::new(1200, 0), Orientation::N));
         let rects = c.claimed_rects(&d);
         assert_eq!(rects.len(), 2);
         assert_eq!(rects[1].1.lo, Point::new(1200, 0));
@@ -122,9 +126,16 @@ mod tests {
     fn position_of_lookup() {
         let d = design();
         let mut c = Candidate::stay(&d, CellId(0));
-        c.moves.push((CellId(1), Point::new(1200, 0), Orientation::N));
-        assert_eq!(c.position_of(CellId(0)), Some((Point::new(0, 0), Orientation::N)));
-        assert_eq!(c.position_of(CellId(1)), Some((Point::new(1200, 0), Orientation::N)));
+        c.moves
+            .push((CellId(1), Point::new(1200, 0), Orientation::N));
+        assert_eq!(
+            c.position_of(CellId(0)),
+            Some((Point::new(0, 0), Orientation::N))
+        );
+        assert_eq!(
+            c.position_of(CellId(1)),
+            Some((Point::new(1200, 0), Orientation::N))
+        );
         assert_eq!(c.position_of(CellId(9)), None);
     }
 }

@@ -39,6 +39,11 @@ pub struct CrpConfig {
     /// Flat cost added to every non-stay candidate, so a move must beat
     /// staying by a real margin (suppresses churn from pricing noise).
     pub move_margin: f64,
+    /// Whether the engine memoizes per-net prices across candidates and
+    /// iterations in an epoch-invalidated cache
+    /// ([`PriceCache`](crate::PriceCache)). Pure memoization: results are
+    /// bit-identical either way, only the ECC wall time changes.
+    pub price_cache: bool,
 }
 
 impl Default for CrpConfig {
@@ -56,6 +61,7 @@ impl Default for CrpConfig {
             congestion_aware: true,
             prioritize: true,
             move_margin: 1.0,
+            price_cache: true,
         }
     }
 }
@@ -67,7 +73,9 @@ impl CrpConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(8)
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8)
         }
     }
 }

@@ -2,10 +2,36 @@
 
 use crate::candidate::Candidate;
 use crate::config::CrpConfig;
+use crate::parallel::run_indexed;
+use crate::price_cache::{PriceCache, PriceRegion};
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
-use crp_router::{pattern_route_tree_discounted, PinNode, Routing};
-use std::collections::HashMap;
+use crp_router::{pattern_route_tree_discounted, NetRoute, PinNode, Routing};
+use std::collections::{HashMap, HashSet};
+
+/// Reusable per-worker buffers for candidate pricing.
+///
+/// Pricing one candidate allocates a handful of short-lived collections
+/// (net list, pin nodes, the self-usage discount map and its two helper
+/// maps). On the hot path — thousands of candidates per iteration — those
+/// allocations dominate the cheap nets. Each pricing worker owns one
+/// scratch and reuses its buffers across every candidate it claims.
+#[derive(Debug, Default)]
+pub struct PriceScratch {
+    nets: Vec<NetId>,
+    pins: Vec<PinNode>,
+    discount: HashMap<Edge, f64>,
+    own: HashMap<(u16, u16, u16), f64>,
+    affected: HashSet<Edge>,
+}
+
+impl PriceScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> PriceScratch {
+        PriceScratch::default()
+    }
+}
 
 /// Prices one candidate: every net incident to a moved cell is rebuilt as
 /// a Steiner topology at the hypothetical positions and 3D-pattern-routed;
@@ -29,15 +55,41 @@ pub fn price_cell_nets(
     candidate: &Candidate,
     congestion_aware: bool,
 ) -> f64 {
+    let mut scratch = PriceScratch::new();
+    price_cell_nets_with(
+        design,
+        grid,
+        routing,
+        candidate,
+        congestion_aware,
+        None,
+        &mut scratch,
+    )
+}
+
+/// [`price_cell_nets`] with caller-provided scratch buffers and an
+/// optional epoch-invalidated price cache. The cache is a pure memo:
+/// results are bit-identical with or without it (see [`PriceCache`]).
+#[must_use]
+pub fn price_cell_nets_with(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    candidate: &Candidate,
+    congestion_aware: bool,
+    cache: Option<&PriceCache>,
+    scratch: &mut PriceScratch,
+) -> f64 {
     // Nets touched by the joint move, deduplicated.
-    let mut nets: Vec<NetId> = Vec::new();
+    scratch.nets.clear();
     for cell in candidate.moved_cells() {
         for n in design.nets_of_cell(cell) {
-            if !nets.contains(&n) {
-                nets.push(n);
+            if !scratch.nets.contains(&n) {
+                scratch.nets.push(n);
             }
         }
     }
+    let nets = std::mem::take(&mut scratch.nets);
 
     // Staying keeps each net's existing committed route; moving triggers a
     // rip-up and a fresh pattern reroute. Price each case as what the
@@ -45,49 +97,84 @@ pub fn price_cell_nets(
     let keeps_current_routes = candidate.is_stay(design);
 
     let mut total = 0.0;
-    for net in nets {
-        let discount = self_usage_discount(grid, routing, net);
+    for &net in &nets {
+        total += price_one_net(
+            design,
+            grid,
+            routing,
+            candidate,
+            net,
+            keeps_current_routes,
+            congestion_aware,
+            cache,
+            scratch,
+        );
+    }
+    scratch.nets = nets;
+    total
+}
 
-        if keeps_current_routes {
-            let current = routing.route(net);
-            total += if congestion_aware {
-                current
-                    .edges()
-                    .iter()
-                    .map(|&e| match discount.get(&e) {
-                        Some(&delta) => grid.cost_adjusted(e, delta),
-                        None => grid.cost(e),
-                    })
-                    .sum::<f64>()
-            } else {
-                // Length-only pricing ([18]'s model: route length and
-                // detours; no via or congestion term).
-                current.wirelength() as f64
-            };
-            continue;
+/// Prices a single net of a candidate, consulting (and feeding) the cache.
+#[allow(clippy::too_many_arguments)]
+fn price_one_net(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    candidate: &Candidate,
+    net: NetId,
+    stay: bool,
+    congestion_aware: bool,
+    cache: Option<&PriceCache>,
+    scratch: &mut PriceScratch,
+) -> f64 {
+    // Pin nodes at (possibly) overridden positions; the stay price does
+    // not depend on them (it reads the committed route), so skip the work.
+    if stay {
+        scratch.pins.clear();
+    } else {
+        scratch.pins.clear();
+        scratch.pins.extend(design.net(net).pins.iter().map(|&p| {
+            let pos = design.pin_position_overridden(p, |c| candidate.position_of(c));
+            let (x, y) = grid.gcell_of(pos);
+            let layer = u16::try_from(design.pin_layer(p)).expect("layer fits u16");
+            PinNode::new(x, y, layer)
+        }));
+        scratch.pins.sort_unstable();
+        scratch.pins.dedup();
+    }
+
+    if let Some(cache) = cache {
+        if let Some(price) = cache.lookup(grid, net, stay, &scratch.pins) {
+            return price;
         }
+    }
 
-        // Pin nodes at (possibly) overridden positions.
-        let mut pins: Vec<PinNode> = design
-            .net(net)
-            .pins
-            .iter()
-            .map(|&p| {
-                let pos = design.pin_position_overridden(p, |c| candidate.position_of(c));
-                let (x, y) = grid.gcell_of(pos);
-                let layer = u16::try_from(design.pin_layer(p)).expect("layer fits u16");
-                PinNode::new(x, y, layer)
-            })
-            .collect();
-        pins.sort_unstable();
-        pins.dedup();
+    self_usage_discount_into(grid, routing, net, scratch);
+    let current = routing.route(net);
 
-        let route = pattern_route_tree_discounted(grid, &pins, &discount);
-        total += if congestion_aware {
+    let (price, routed) = if stay {
+        let p = if congestion_aware {
+            current
+                .edges()
+                .iter()
+                .map(|&e| match scratch.discount.get(&e) {
+                    Some(&delta) => grid.cost_adjusted(e, delta),
+                    None => grid.cost(e),
+                })
+                .sum::<f64>()
+        } else {
+            // Length-only pricing ([18]'s model: route length and
+            // detours; no via or congestion term).
+            current.wirelength() as f64
+        };
+        (p, None)
+    } else {
+        let route = pattern_route_tree_discounted(grid, &scratch.pins, &scratch.discount);
+        let p = if congestion_aware {
             route
                 .edges()
                 .iter()
-                .map(|&e| match discount.get(&e) {
+                .map(|&e| match scratch.discount.get(&e) {
                     Some(&delta) => grid.cost_adjusted(e, delta),
                     None => grid.cost(e),
                 })
@@ -95,28 +182,61 @@ pub fn price_cell_nets(
         } else {
             route.wirelength() as f64
         };
+        (p, Some(route))
+    };
+
+    if let Some(cache) = cache {
+        // The price depends on the grid only inside the bbox of the pins,
+        // the current route (the discount source), and the hypothetical
+        // route — all pattern exploration stays inside bbox(pins), and the
+        // cache adds the one-gcell margin for boundary-edge endpoints.
+        let mut region = PriceRegion::empty();
+        for p in &scratch.pins {
+            region.cover(p.x, p.y);
+        }
+        cover_route(&mut region, current);
+        if let Some(route) = &routed {
+            cover_route(&mut region, route);
+        }
+        cache.store(grid, net, stay, &scratch.pins, region, price);
     }
-    total
+    price
+}
+
+fn cover_route(region: &mut PriceRegion, route: &NetRoute) {
+    for s in &route.segs {
+        region.cover(s.from.0, s.from.1);
+        region.cover(s.to.0, s.to.1);
+    }
+    for v in &route.vias {
+        region.cover(v.x, v.y);
+    }
 }
 
 /// Builds the demand-delta map that removes `net`'s own current route
-/// from the grid demand: −1 on every wire and via edge it occupies, plus
-/// the (nonlinear) via-estimate correction `β·δ_e` on planar edges whose
-/// endpoint gcells host the net's vias.
-#[must_use]
-pub fn self_usage_discount(
+/// from the grid demand into the scratch's `discount` map, reusing its
+/// buffers (all three maps are cleared first): −1 on every wire and via
+/// edge it occupies, plus the (nonlinear) via-estimate correction
+/// `β·δ_e` on planar edges whose endpoint gcells host the net's vias.
+fn self_usage_discount_into(
     grid: &RouteGrid,
     routing: &Routing,
     net: NetId,
-) -> HashMap<Edge, f64> {
+    scratch: &mut PriceScratch,
+) {
+    let discount = &mut scratch.discount;
+    let own = &mut scratch.own;
+    let affected = &mut scratch.affected;
+    discount.clear();
+    own.clear();
+    affected.clear();
+
     let route = routing.route(net);
-    let mut discount: HashMap<Edge, f64> = HashMap::new();
     for e in route.edges() {
         *discount.entry(e).or_insert(0.0) -= 1.0;
     }
 
     // Via endpoints this net contributes per (x, y, layer).
-    let mut own: HashMap<(u16, u16, u16), f64> = HashMap::new();
     for v in &route.vias {
         for l in v.lo..v.hi {
             *own.entry((v.x, v.y, l)).or_insert(0.0) += 1.0;
@@ -124,11 +244,10 @@ pub fn self_usage_discount(
         }
     }
     if own.is_empty() {
-        return discount;
+        return;
     }
     let beta = grid.config().beta;
     // Planar edges incident to any gcell with own vias on that layer.
-    let mut affected: std::collections::HashSet<Edge> = std::collections::HashSet::new();
     for &(x, y, l) in own.keys() {
         if !grid.is_routable(l) {
             continue;
@@ -148,7 +267,7 @@ pub fn self_usage_discount(
             }
         }
     }
-    for e in affected {
+    for &e in affected.iter() {
         if !grid.edge_exists(e) {
             continue;
         }
@@ -162,16 +281,71 @@ pub fn self_usage_discount(
             *discount.entry(e).or_insert(0.0) += delta;
         }
     }
-    discount
 }
 
 /// Fills `routing_cost` on every candidate (line 11–13 of Algorithm 2,
 /// "run parallel"). `per_cell` holds the candidate list of each critical
-/// cell; lists are processed concurrently on
-/// [`CrpConfig::effective_threads`] workers. Non-stay candidates receive
-/// an additional [`CrpConfig::move_margin`] so that moves need a real
-/// improvement to win over staying.
+/// cell; lists are dispatched to [`CrpConfig::effective_threads`] workers
+/// through a shared work-stealing cursor, and costs are written back by
+/// list index — results are bit-identical for every thread count.
+/// Non-stay candidates receive an additional [`CrpConfig::move_margin`]
+/// so that moves need a real improvement to win over staying.
 pub fn estimate_candidates(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    per_cell: &mut [Vec<Candidate>],
+    config: &CrpConfig,
+) {
+    estimate_candidates_cached(design, grid, routing, per_cell, config, None);
+}
+
+/// [`estimate_candidates`] with an optional persistent [`PriceCache`]
+/// (the [`Crp`](crate::Crp) engine passes its own, so prices survive
+/// across iterations until the congestion under them changes).
+pub fn estimate_candidates_cached(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    per_cell: &mut [Vec<Candidate>],
+    config: &CrpConfig,
+    cache: Option<&PriceCache>,
+) {
+    let threads = config.effective_threads().max(1);
+    let lists: &[Vec<Candidate>] = per_cell;
+    let costs: Vec<Vec<f64>> =
+        run_indexed(lists.len(), threads, PriceScratch::new, |scratch, i| {
+            lists[i]
+                .iter()
+                .map(|cand| {
+                    let mut cost = price_cell_nets_with(
+                        design,
+                        grid,
+                        routing,
+                        cand,
+                        config.congestion_aware,
+                        cache,
+                        scratch,
+                    );
+                    if !cand.is_stay(design) {
+                        cost += config.move_margin;
+                    }
+                    cost
+                })
+                .collect()
+        });
+    for (cands, cs) in per_cell.iter_mut().zip(costs) {
+        for (cand, c) in cands.iter_mut().zip(cs) {
+            cand.routing_cost = c;
+        }
+    }
+}
+
+/// The pre-work-stealing baseline: fixed `chunks_mut` partitioning with
+/// one fresh allocation set per candidate and no price cache. Kept only
+/// as the comparison point for the `estimate_phase` benchmark.
+#[doc(hidden)]
+pub fn estimate_candidates_chunked(
     design: &Design,
     grid: &RouteGrid,
     routing: &Routing,
@@ -290,15 +464,75 @@ mod tests {
         estimate_candidates(&d, &grid, &routing, &mut b, &cfg1);
         for (ca, cb) in a.iter().flatten().zip(b.iter().flatten()) {
             assert!(ca.routing_cost > 0.0);
-            assert_eq!(ca.routing_cost, cb.routing_cost, "thread count changed results");
+            assert_eq!(
+                ca.routing_cost, cb.routing_cost,
+                "thread count changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_estimate_matches_uncached_bitwise() {
+        let (d, grid, routing, cells) = flow();
+        let cfg = CrpConfig::default();
+        let make = || {
+            vec![
+                vec![Candidate::stay(&d, cells[0]), {
+                    let mut c = Candidate::stay(&d, cells[0]);
+                    c.pos = Point::new(4_000, 2_000);
+                    c
+                }],
+                vec![Candidate::stay(&d, cells[1])],
+            ]
+        };
+        let mut fresh = make();
+        estimate_candidates(&d, &grid, &routing, &mut fresh, &cfg);
+
+        let cache = PriceCache::new();
+        // Two passes: the second must be all-hits and bit-identical.
+        for pass in 0..2 {
+            let mut cached = make();
+            estimate_candidates_cached(&d, &grid, &routing, &mut cached, &cfg, Some(&cache));
+            for (ca, cb) in fresh.iter().flatten().zip(cached.iter().flatten()) {
+                assert_eq!(
+                    ca.routing_cost, cb.routing_cost,
+                    "cache changed a price on pass {pass}"
+                );
+            }
+        }
+        assert!(cache.hits() > 0, "second pass must hit");
+    }
+
+    #[test]
+    fn chunked_baseline_agrees_with_work_stealing() {
+        let (d, grid, routing, cells) = flow();
+        let cfg = CrpConfig::default();
+        let make = || {
+            vec![
+                vec![Candidate::stay(&d, cells[0])],
+                vec![Candidate::stay(&d, cells[1]), {
+                    let mut c = Candidate::stay(&d, cells[1]);
+                    c.pos = Point::new(8_000, 6_000);
+                    c
+                }],
+            ]
+        };
+        let mut a = make();
+        estimate_candidates(&d, &grid, &routing, &mut a, &cfg);
+        let mut b = make();
+        estimate_candidates_chunked(&d, &grid, &routing, &mut b, &cfg);
+        for (ca, cb) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert_eq!(ca.routing_cost, cb.routing_cost);
         }
     }
 
     #[test]
     fn move_margin_penalizes_non_stay() {
         let (d, grid, routing, cells) = flow();
-        let mut cfg = CrpConfig::default();
-        cfg.move_margin = 1000.0;
+        let cfg = CrpConfig {
+            move_margin: 1000.0,
+            ..CrpConfig::default()
+        };
         let mut lists = vec![vec![Candidate::stay(&d, cells[0]), {
             let mut c = Candidate::stay(&d, cells[0]);
             c.pos = Point::new(400, 0); // trivial sideways move
@@ -315,10 +549,62 @@ mod tests {
     fn joint_move_prices_conflict_cell_nets_too() {
         let (d, grid, routing, cells) = flow();
         let mut joint = Candidate::stay(&d, cells[0]);
-        joint.moves.push((cells[1], Point::new(0, 2_000), crp_geom::Orientation::FS));
+        joint
+            .moves
+            .push((cells[1], Point::new(0, 2_000), crp_geom::Orientation::FS));
         let p_joint = price_cell_nets(&d, &grid, &routing, &joint, true);
         let p_stay = price_cell_nets(&d, &grid, &routing, &Candidate::stay(&d, cells[0]), true);
         // Bringing u1 next to u0 shrinks the shared net drastically.
         assert!(p_joint < p_stay);
+    }
+
+    mod properties {
+        use super::*;
+        use crp_router::{GlobalRouter, RouterConfig};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            // The cache is a pure memo: after arbitrary cell moves and
+            // reroutes (which mutate the grid and the routing), pricing
+            // through a cache that saw every intermediate state still
+            // equals a fresh `price_cell_nets` computation, bit for bit.
+            #[test]
+            fn cache_is_never_stale_under_moves_and_reroutes(
+                steps in proptest::collection::vec((0u16..2, 0u16..25, 0u16..8), 1..6)
+            ) {
+                let (mut d, mut grid, mut routing, cells) = flow();
+                let mut router = GlobalRouter::new(RouterConfig::default());
+                let cache = PriceCache::new();
+                let cfg = CrpConfig::default();
+
+                for &(who, sx, sy) in &steps {
+                    // Warm the cache against the current state.
+                    let mut lists: Vec<Vec<Candidate>> =
+                        cells.iter().map(|&c| vec![Candidate::stay(&d, c)]).collect();
+                    estimate_candidates_cached(&d, &grid, &routing, &mut lists, &cfg, Some(&cache));
+
+                    // Mutate: move a cell to a (site-aligned) position and
+                    // reroute its nets — exactly what the update step does.
+                    let cell = cells[usize::from(who)];
+                    let pos = Point::new(i64::from(sx) * 400, i64::from(sy) * 2000);
+                    d.move_cell(cell, pos, crp_geom::Orientation::N);
+                    for n in d.nets_of_cell(cell) {
+                        router.reroute_net(&d, &mut grid, &mut routing, n);
+                    }
+
+                    // Cached pricing after mutation must equal fresh pricing.
+                    for &c in &cells {
+                        let cand = Candidate::stay(&d, c);
+                        let fresh = price_cell_nets(&d, &grid, &routing, &cand, true);
+                        let mut scratch = PriceScratch::new();
+                        let cached = price_cell_nets_with(
+                            &d, &grid, &routing, &cand, true, Some(&cache), &mut scratch,
+                        );
+                        prop_assert_eq!(fresh, cached, "stale cache after move/reroute");
+                    }
+                }
+            }
+        }
     }
 }

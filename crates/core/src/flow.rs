@@ -2,9 +2,11 @@
 
 use crate::candidate::Candidate;
 use crate::config::CrpConfig;
-use crate::estimate::estimate_candidates;
+use crate::estimate::estimate_candidates_cached;
 use crate::label::label_critical_cells;
 use crate::legalizer::Legalizer;
+use crate::parallel::run_indexed;
+use crate::price_cache::PriceCache;
 use crate::select::select_candidates;
 use crate::timers::StageTimers;
 use crp_grid::RouteGrid;
@@ -43,6 +45,10 @@ pub struct Crp {
     critical_hist: HashSet<CellId>,
     moved_set: HashSet<CellId>,
     rng: StdRng,
+    /// Per-net price memo, persistent across iterations: entries survive
+    /// until the congestion under them changes (epoch invalidation), so
+    /// later iterations re-price only the nets the flow actually touched.
+    cache: PriceCache,
     /// Accumulated stage timings (Figure 3 data source).
     pub timers: StageTimers,
 }
@@ -56,8 +62,16 @@ impl Crp {
             critical_hist: HashSet::new(),
             moved_set: HashSet::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            cache: PriceCache::new(),
             timers: StageTimers::default(),
         }
+    }
+
+    /// The engine's persistent per-net price cache (read-only view, e.g.
+    /// for inspecting lifetime hit/miss totals).
+    #[must_use]
+    pub fn price_cache(&self) -> &PriceCache {
+        &self.cache
     }
 
     /// The configuration in use.
@@ -118,8 +132,12 @@ impl Crp {
 
         // Step 3: estimate candidate costs (parallel; Algorithm 3).
         let t = Instant::now();
-        estimate_candidates(design, grid, routing, &mut per_cell, &self.config);
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        let cache = self.config.price_cache.then_some(&self.cache);
+        estimate_candidates_cached(design, grid, routing, &mut per_cell, &self.config, cache);
         self.timers.ecc += t.elapsed();
+        self.timers.ecc_cache_hits += self.cache.hits() - hits0;
+        self.timers.ecc_cache_misses += self.cache.misses() - misses0;
 
         // Step 4: select with the Eq. 12 ILP.
         let t = Instant::now();
@@ -143,8 +161,8 @@ impl Crp {
             if !joint_move_fits(&occupancy, design, cand) {
                 continue;
             }
-            for (cell, pos, orient) in
-                std::iter::once((cand.cell, cand.pos, cand.orient)).chain(cand.moves.iter().copied())
+            for (cell, pos, orient) in std::iter::once((cand.cell, cand.pos, cand.orient))
+                .chain(cand.moves.iter().copied())
             {
                 occupancy.relocate(design, cell, pos);
                 design.move_cell(cell, pos, orient);
@@ -175,34 +193,28 @@ impl Crp {
     }
 }
 
-/// Runs the legalizer for every critical cell on `threads` workers and
-/// prepends the stay candidate to each list (Algorithm 2, line 2).
+/// Runs the legalizer for every critical cell on `threads` workers via
+/// the work-stealing dispatcher and prepends the stay candidate to each
+/// list (Algorithm 2, line 2). Legalizer ILP cost varies wildly with
+/// local density, so stealing beats fixed chunks; results land in
+/// critical-cell order regardless of thread count.
 fn generate_parallel(
     design: &Design,
     legalizer: &Legalizer<'_>,
     critical: &[CellId],
     threads: usize,
 ) -> Vec<Vec<Candidate>> {
-    let work = |cell: CellId| -> Vec<Candidate> {
-        let mut cands = vec![Candidate::stay(design, cell)];
-        cands.extend(legalizer.candidates_for(cell));
-        cands
-    };
-    if threads <= 1 || critical.len() < 2 {
-        return critical.iter().map(|&c| work(c)).collect();
-    }
-    let chunk = critical.len().div_ceil(threads);
-    let mut out: Vec<Vec<Candidate>> = Vec::with_capacity(critical.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = critical
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || slice.iter().map(|&c| work(c)).collect::<Vec<_>>()))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("legalizer worker panicked"));
-        }
-    });
-    out
+    run_indexed(
+        critical.len(),
+        threads,
+        || (),
+        |(), i| {
+            let cell = critical[i];
+            let mut cands = vec![Candidate::stay(design, cell)];
+            cands.extend(legalizer.candidates_for(cell));
+            cands
+        },
+    )
 }
 
 /// Apply-time legality safeguard: whether the candidate's claimed
@@ -224,7 +236,10 @@ fn joint_move_fits(occupancy: &RowMap, design: &Design, cand: &Candidate) -> boo
         let Some(row) = design.row_with_origin_y(rect.lo.y) else {
             return false;
         };
-        if !occupancy.overlapping(row.index(), rect.x_span(), &movers).is_empty() {
+        if !occupancy
+            .overlapping(row.index(), rect.x_span(), &movers)
+            .is_empty()
+        {
             return false;
         }
     }
@@ -263,7 +278,10 @@ mod tests {
         let mut crp = Crp::new(CrpConfig::default());
         crp.run(3, &mut d, &mut grid, &mut router, &mut routing);
         let expect: f64 = routing.total_wirelength() as f64;
-        assert!((grid.total_wire_usage() - expect).abs() < 1e-9, "wire usage drifted");
+        assert!(
+            (grid.total_wire_usage() - expect).abs() < 1e-9,
+            "wire usage drifted"
+        );
         assert!(
             (grid.total_via_endpoints() - 2.0 * routing.total_vias() as f64).abs() < 1e-9,
             "via bookkeeping drifted"

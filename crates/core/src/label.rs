@@ -11,12 +11,7 @@ use std::collections::HashSet;
 /// The routed cost of a cell: the summed Eq. 10 cost of the current routes
 /// of all its nets. This is the sort key of Algorithm 1, line 3.
 #[must_use]
-pub fn cell_routed_cost(
-    design: &Design,
-    grid: &RouteGrid,
-    routing: &Routing,
-    cell: CellId,
-) -> f64 {
+pub fn cell_routed_cost(design: &Design, grid: &RouteGrid, routing: &Routing, cell: CellId) -> f64 {
     design
         .nets_of_cell(cell)
         .into_iter()
@@ -45,7 +40,10 @@ pub fn label_critical_cells(
     rng: &mut StdRng,
 ) -> Vec<CellId> {
     // Line 1-3: copy and sort the cell set.
-    let mut cells: Vec<CellId> = design.cell_ids().filter(|&c| !design.cell(c).fixed).collect();
+    let mut cells: Vec<CellId> = design
+        .cell_ids()
+        .filter(|&c| !design.cell(c).fixed)
+        .collect();
     if config.prioritize {
         let mut keyed: Vec<(f64, CellId)> = cells
             .iter()
@@ -101,7 +99,13 @@ mod tests {
         );
         b.add_rows(10, 120, Point::new(0, 0));
         let cells: Vec<_> = (0..12)
-            .map(|i| b.add_cell(format!("u{i}"), m, Point::new((i % 6) * 3000, (i / 6) * 8000)))
+            .map(|i| {
+                b.add_cell(
+                    format!("u{i}"),
+                    m,
+                    Point::new((i % 6) * 3000, (i / 6) * 8000),
+                )
+            })
             .collect();
         // A chain plus one long net so costs differ.
         for i in 0..11 {
@@ -120,12 +124,23 @@ mod tests {
         let (d, grid, routing) = flow();
         let cfg = CrpConfig::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let sel = label_critical_cells(&d, &grid, &routing, &cfg, &HashSet::new(), &HashSet::new(), &mut rng);
+        let sel = label_critical_cells(
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
+            &mut rng,
+        );
         assert!(!sel.is_empty());
         let set: HashSet<CellId> = sel.iter().copied().collect();
         for &c in &sel {
             for conn in d.connected_cells(c) {
-                assert!(!set.contains(&conn), "{c} and {conn} both selected but connected");
+                assert!(
+                    !set.contains(&conn),
+                    "{c} and {conn} both selected but connected"
+                );
             }
         }
     }
@@ -133,10 +148,20 @@ mod tests {
     #[test]
     fn respects_gamma_limit() {
         let (d, grid, routing) = flow();
-        let mut cfg = CrpConfig::default();
-        cfg.gamma = 0.25;
+        let cfg = CrpConfig {
+            gamma: 0.25,
+            ..CrpConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
-        let sel = label_critical_cells(&d, &grid, &routing, &cfg, &HashSet::new(), &HashSet::new(), &mut rng);
+        let sel = label_critical_cells(
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
+            &mut rng,
+        );
         assert!(sel.len() <= (0.25 * 12.0) as usize + 1);
     }
 
@@ -148,13 +173,21 @@ mod tests {
         let (d, grid, routing) = flow();
         let cfg = CrpConfig::default();
         let a = label_critical_cells(
-            &d, &grid, &routing, &cfg,
-            &HashSet::new(), &HashSet::new(),
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
             &mut StdRng::seed_from_u64(3),
         );
         let b = label_critical_cells(
-            &d, &grid, &routing, &cfg,
-            &HashSet::new(), &HashSet::new(),
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
             &mut StdRng::seed_from_u64(999),
         );
         assert_eq!(a, b, "selection without history must be seed-independent");
@@ -170,7 +203,13 @@ mod tests {
         let trials = 40;
         for seed in 0..trials {
             let sel = label_critical_cells(
-                &d, &grid, &routing, &cfg, &all, &all, &mut StdRng::seed_from_u64(seed),
+                &d,
+                &grid,
+                &routing,
+                &cfg,
+                &all,
+                &all,
+                &mut StdRng::seed_from_u64(seed),
             );
             hits += sel.len();
         }
@@ -190,8 +229,12 @@ mod tests {
         }
         let cfg = CrpConfig::default();
         let sel = label_critical_cells(
-            &d, &grid, &routing, &cfg,
-            &HashSet::new(), &HashSet::new(),
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
             &mut StdRng::seed_from_u64(0),
         );
         assert!(sel.is_empty());
@@ -202,8 +245,12 @@ mod tests {
         let (d, grid, routing) = flow();
         let cfg = CrpConfig::default();
         let sel = label_critical_cells(
-            &d, &grid, &routing, &cfg,
-            &HashSet::new(), &HashSet::new(),
+            &d,
+            &grid,
+            &routing,
+            &cfg,
+            &HashSet::new(),
+            &HashSet::new(),
             &mut StdRng::seed_from_u64(0),
         );
         let cost = |c: CellId| cell_routed_cost(&d, &grid, &routing, c);

@@ -14,6 +14,9 @@ use crp_geom::{Dbu, Interval, Point, Rect};
 use crp_ilp::{Model, SolveLimits, VarId};
 use crp_netlist::{median_position, CellId, Design, RowId, RowMap};
 
+/// Joint relocation list: each conflict cell with its new legal slot.
+type Relocations = Vec<(CellId, Point, crp_geom::Orientation)>;
+
 /// The per-iteration legalizer. Construction indexes cells by row; the
 /// index reflects the design at construction time, so rebuild after moves.
 #[derive(Debug)]
@@ -27,7 +30,11 @@ impl<'a> Legalizer<'a> {
     /// Builds the row index for `design`.
     #[must_use]
     pub fn new(design: &'a Design, config: &'a CrpConfig) -> Legalizer<'a> {
-        Legalizer { design, config, rows: RowMap::new(design) }
+        Legalizer {
+            design,
+            config,
+            rows: RowMap::new(design),
+        }
     }
 
     /// Runs the legalizer for one critical cell (`legalizer.run(c, N_site,
@@ -114,7 +121,7 @@ impl<'a> Legalizer<'a> {
                 continue;
             }
             if let Some((moves, ilp_cost)) =
-                self.relocate_conflicts(cell, rect, row_id, &conflicts, r0, r1, wx)
+                self.relocate_conflicts(cell, rect, &conflicts, r0, r1, wx)
             {
                 out.push(Candidate {
                     cell,
@@ -136,12 +143,11 @@ impl<'a> Legalizer<'a> {
         &self,
         cell: CellId,
         crit_rect: Rect,
-        _crit_row: RowId,
         conflicts: &[CellId],
         r0: usize,
         r1: usize,
         wx: Interval,
-    ) -> Option<(Vec<(CellId, Point, crp_geom::Orientation)>, f64)> {
+    ) -> Option<(Relocations, f64)> {
         let design = self.design;
         let site_w = design.site.width;
 
@@ -195,11 +201,7 @@ impl<'a> Legalizer<'a> {
                     let lo = align_up(iv.lo, row.origin.x, site_w);
                     let mut x = lo;
                     while x + mc.width <= iv.hi {
-                        options.push((
-                            eq11_cost(Point::new(x, row.origin.y), med),
-                            *row_id,
-                            x,
-                        ));
+                        options.push((eq11_cost(Point::new(x, row.origin.y), med), *row_id, x));
                         x += site_w;
                     }
                 }
@@ -265,7 +267,12 @@ fn eq11_cost(pos: Point, median: Point) -> f64 {
 /// `row_x` with site width `site_w`.
 fn align_up(x: Dbu, row_x: Dbu, site_w: Dbu) -> Dbu {
     let rel = x - row_x;
-    let aligned = rel.div_euclid(site_w) * site_w + if rel.rem_euclid(site_w) == 0 { 0 } else { site_w };
+    let aligned = rel.div_euclid(site_w) * site_w
+        + if rel.rem_euclid(site_w) == 0 {
+            0
+        } else {
+            site_w
+        };
     row_x + aligned
 }
 
@@ -307,7 +314,7 @@ mod tests {
             assert_eq!(cand.pos.x % 200, 0);
             assert!(d.row_with_origin_y(cand.pos.y).is_some());
             assert!((cand.pos.x - cur.x).abs() <= cfg.n_site / 2 * 200 + 400);
-            assert!(cand.moves.len() + 1 <= cfg.max_window_cells);
+            assert!(cand.moves.len() < cfg.max_window_cells);
         }
     }
 
@@ -385,8 +392,10 @@ mod tests {
     #[test]
     fn candidate_count_capped() {
         let (d, cells) = design_with_gap();
-        let mut cfg = CrpConfig::default();
-        cfg.max_candidates = 3;
+        let cfg = CrpConfig {
+            max_candidates: 3,
+            ..CrpConfig::default()
+        };
         let lg = Legalizer::new(&d, &cfg);
         assert!(lg.candidates_for(cells[0]).len() < 3);
     }

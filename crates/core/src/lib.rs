@@ -55,15 +55,23 @@ mod flow;
 mod label;
 mod legalizer;
 mod median_move;
+mod parallel;
+mod price_cache;
 mod select;
 mod timers;
 
 pub use candidate::Candidate;
 pub use config::CrpConfig;
-pub use estimate::{estimate_candidates, price_cell_nets};
+#[doc(hidden)]
+pub use estimate::estimate_candidates_chunked;
+pub use estimate::{
+    estimate_candidates, estimate_candidates_cached, price_cell_nets, price_cell_nets_with,
+    PriceScratch,
+};
 pub use flow::{Crp, IterationReport};
 pub use label::label_critical_cells;
 pub use legalizer::Legalizer;
 pub use median_move::{MedianMoveOutcome, MedianMover, MedianMoverConfig};
+pub use price_cache::{PriceCache, PriceRegion};
 pub use select::select_candidates;
 pub use timers::StageTimers;

@@ -20,7 +20,8 @@
 
 use crate::candidate::Candidate;
 use crate::config::CrpConfig;
-use crate::estimate::price_cell_nets;
+use crate::estimate::{price_cell_nets_with, PriceScratch};
+use crate::parallel::run_indexed;
 use crp_geom::{Dbu, Interval, Point};
 use crp_grid::RouteGrid;
 use crp_ilp::{Model, SolveLimits, VarId};
@@ -111,42 +112,39 @@ impl MedianMover {
         routing: &mut Routing,
     ) -> MedianMoveOutcome {
         // --- candidate generation: every movable cell, median-targeted ----
-        let cells: Vec<CellId> =
-            design.cell_ids().filter(|&c| !design.cell(c).fixed).collect();
+        let cells: Vec<CellId> = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .collect();
         let occupancy = RowMap::new(design);
         let routing_view: &Routing = routing;
         let threads = if self.config.threads > 0 {
             self.config.threads
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(8)
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8)
         };
 
-        let gen = |cell: CellId| -> Vec<Candidate> {
-            let mut cands = vec![Candidate::stay(design, cell)];
-            cands.extend(self.median_candidates(design, &occupancy, cell));
-            for cand in &mut cands {
-                // Congestion-blind pricing: pure length + via weights.
-                cand.routing_cost = price_cell_nets(design, grid, routing_view, cand, false);
-            }
-            cands
-        };
-        let mut per_cell: Vec<Vec<Candidate>> = Vec::with_capacity(cells.len());
-        if threads <= 1 || cells.len() < 2 {
-            per_cell.extend(cells.iter().map(|&c| gen(c)));
-        } else {
-            let chunk = cells.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = cells
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || slice.iter().map(|&c| gen(c)).collect::<Vec<_>>())
-                    })
-                    .collect();
-                for h in handles {
-                    per_cell.extend(h.join().expect("median worker panicked"));
+        let mut per_cell: Vec<Vec<Candidate>> =
+            run_indexed(cells.len(), threads, PriceScratch::new, |scratch, i| {
+                let cell = cells[i];
+                let mut cands = vec![Candidate::stay(design, cell)];
+                cands.extend(self.median_candidates(design, &occupancy, cell));
+                for cand in &mut cands {
+                    // Congestion-blind pricing: pure length + via weights.
+                    cand.routing_cost = price_cell_nets_with(
+                        design,
+                        grid,
+                        routing_view,
+                        cand,
+                        false,
+                        None,
+                        scratch,
+                    );
                 }
+                cands
             });
-        }
         // Drop cells with only the stay candidate: they cannot move.
         per_cell.retain(|cands| cands.len() > 1);
 
@@ -248,9 +246,9 @@ impl MedianMover {
                     .filter(|&(i, cand)| {
                         // Drop candidates clashing with already-fixed picks.
                         cand.is_stay(design)
-                            || conflict_pairs.get(&(g, i)).is_none_or(|cs| {
-                                cs.iter().all(|&(h, j)| fixed[h] != Some(j))
-                            })
+                            || conflict_pairs
+                                .get(&(g, i))
+                                .is_none_or(|cs| cs.iter().all(|&(h, j)| fixed[h] != Some(j)))
                     })
                     .map(|(i, cand)| {
                         var_origin.push((g, i));
@@ -278,9 +276,15 @@ impl MedianMover {
                         fixed[g] = Some(i);
                     }
                 }
-                Ok(s) => return MedianMoveOutcome::Failed { nodes: nodes_spent + s.nodes },
+                Ok(s) => {
+                    return MedianMoveOutcome::Failed {
+                        nodes: nodes_spent + s.nodes,
+                    }
+                }
                 Err(crp_ilp::SolveError::NodeLimit { nodes }) => {
-                    return MedianMoveOutcome::Failed { nodes: nodes_spent + nodes }
+                    return MedianMoveOutcome::Failed {
+                        nodes: nodes_spent + nodes,
+                    }
                 }
                 Err(_) => return MedianMoveOutcome::Failed { nodes: nodes_spent },
             }
@@ -311,17 +315,16 @@ impl MedianMover {
         for &net in &nets {
             router.reroute_net(design, grid, routing, net);
         }
-        MedianMoveOutcome::Completed { moved_cells, rerouted_nets: nets.len(), nodes: nodes_spent }
+        MedianMoveOutcome::Completed {
+            moved_cells,
+            rerouted_nets: nets.len(),
+            nodes: nodes_spent,
+        }
     }
 
     /// Free slots near the cell's median, nearest first (no conflict-cell
     /// relocation: other cells are obstacles, per the simpler \[18\] model).
-    fn median_candidates(
-        &self,
-        design: &Design,
-        occ: &RowMap,
-        cell: CellId,
-    ) -> Vec<Candidate> {
+    fn median_candidates(&self, design: &Design, occ: &RowMap, cell: CellId) -> Vec<Candidate> {
         let median = median_position(design, cell);
         let m = design.macro_of(cell);
         let site_w = design.site.width;
@@ -348,8 +351,12 @@ impl MedianMover {
                     continue;
                 }
                 let target = median.x.clamp(lo, hi);
-                let snapped = align_up(target - (target - row.origin.x).rem_euclid(site_w), row.origin.x, site_w)
-                    .clamp(lo, hi);
+                let snapped = align_up(
+                    target - (target - row.origin.x).rem_euclid(site_w),
+                    row.origin.x,
+                    site_w,
+                )
+                .clamp(lo, hi);
                 for x in [snapped, snapped - site_w, snapped + site_w] {
                     if x >= lo && x <= hi && (x - row.origin.x).rem_euclid(site_w) == 0 {
                         let pos = Point::new(x, row.origin.y);
@@ -379,8 +386,12 @@ impl MedianMover {
 
 fn align_up(x: Dbu, row_x: Dbu, site_w: Dbu) -> Dbu {
     let rel = x - row_x;
-    let aligned =
-        rel.div_euclid(site_w) * site_w + if rel.rem_euclid(site_w) == 0 { 0 } else { site_w };
+    let aligned = rel.div_euclid(site_w) * site_w
+        + if rel.rem_euclid(site_w) == 0 {
+            0
+        } else {
+            site_w
+        };
     row_x + aligned
 }
 
@@ -428,11 +439,16 @@ mod tests {
     #[test]
     fn node_limit_produces_failed_outcome() {
         let (mut d, mut grid, mut router, mut routing) = flow(6, 400.0);
-        let mut cfg = MedianMoverConfig::default();
-        cfg.node_limit = 50; // starve the solver
+        let cfg = MedianMoverConfig {
+            node_limit: 50,
+            ..MedianMoverConfig::default()
+        };
         let mm = MedianMover::new(cfg);
         let outcome = mm.run(&mut d, &mut grid, &mut router, &mut routing);
-        assert!(matches!(outcome, MedianMoveOutcome::Failed { .. }), "got {outcome:?}");
+        assert!(
+            matches!(outcome, MedianMoveOutcome::Failed { .. }),
+            "got {outcome:?}"
+        );
         // The design must be untouched on failure.
         assert!(check_legality(&d).is_empty());
     }

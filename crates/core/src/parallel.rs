@@ -1,0 +1,133 @@
+//! Deterministic work-stealing dispatch for the parallel CR&P loops.
+//!
+//! The flow's parallel stages (candidate generation, candidate pricing,
+//! the median-move baseline) all have the same shape: `n` independent
+//! work items of wildly uneven cost — a 2-pin net prices in microseconds
+//! while a congested 40-pin net takes milliseconds. Fixed `chunks_mut`
+//! partitioning leaves whole workers idle behind one slow chunk, so the
+//! stages instead share one atomic cursor: each worker claims the next
+//! unclaimed index ([`AtomicUsize::fetch_add`]), computes, and tags the
+//! result with its index. Results are merged back **by index**, so the
+//! output is bit-identical for every thread count and every schedule —
+//! parallelism changes only who computes an item, never what is computed
+//! or where it lands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `work` over indices `0..n` on `threads` workers with work
+/// stealing, returning the results in index order.
+///
+/// `init` builds one scratch value per worker (reusable buffers, router
+/// state); `work` receives the worker's scratch and the claimed index.
+/// Items must be independent: `work` cannot observe other items' results.
+pub(crate) fn run_indexed<T, S, I, F>(n: usize, threads: usize, init: I, work: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n < 2 {
+        let mut scratch = init();
+        return (0..n).map(|i| work(&mut scratch, i)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, work(&mut scratch, i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_in_index_order() {
+        let out = run_indexed(100, 4, || (), |(), i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let work = |_: &mut (), i: usize| (i as f64).sqrt().sin();
+        let one = run_indexed(257, 1, || (), work);
+        for threads in [2, 3, 8, 16] {
+            let many = run_indexed(257, threads, || (), work);
+            assert_eq!(one, many, "threads={threads} changed results");
+        }
+    }
+
+    #[test]
+    fn uneven_items_all_complete() {
+        // Items 0..8 sleep-spin long, the rest are instant; stealing must
+        // still cover every index.
+        let out = run_indexed(
+            64,
+            8,
+            || (),
+            |(), i| {
+                if i < 8 {
+                    std::hint::black_box((0..50_000).sum::<u64>());
+                }
+                i
+            },
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        INITS.store(0, Ordering::SeqCst);
+        let out = run_indexed(
+            32,
+            4,
+            || {
+                INITS.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new()
+            },
+            |buf, i| {
+                buf.push(i);
+                buf.len()
+            },
+        );
+        // At most one scratch per worker (plus none extra).
+        assert!(INITS.load(Ordering::SeqCst) <= 4);
+        // Each worker's buffer grows monotonically — values are per-worker
+        // visit counts, so they never exceed the item count.
+        assert!(out.iter().all(|&c| (1..=32).contains(&c)));
+    }
+
+    #[test]
+    fn zero_and_single_item_paths() {
+        assert!(run_indexed(0, 8, || (), |(), i| i).is_empty());
+        assert_eq!(run_indexed(1, 8, || (), |(), i| i + 7), vec![7]);
+    }
+}

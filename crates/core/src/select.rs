@@ -25,7 +25,10 @@ pub fn select_candidates(
     per_cell: &[Vec<Candidate>],
     config: &CrpConfig,
 ) -> Vec<usize> {
-    assert!(per_cell.iter().all(|c| !c.is_empty()), "every cell needs >= 1 candidate");
+    assert!(
+        per_cell.iter().all(|c| !c.is_empty()),
+        "every cell needs >= 1 candidate"
+    );
     if per_cell.is_empty() {
         return Vec::new();
     }
@@ -60,8 +63,12 @@ pub fn select_candidates(
             }
             for (ia, &va) in groups[ga].iter().enumerate() {
                 for (ib, &vb) in groups[gb].iter().enumerate() {
-                    if conflicts(&per_cell[ga][ia], &per_cell[gb][ib], &rects[ga][ia], &rects[gb][ib])
-                    {
+                    if conflicts(
+                        &per_cell[ga][ia],
+                        &per_cell[gb][ib],
+                        &rects[ga][ia],
+                        &rects[gb][ib],
+                    ) {
                         model.add_conflict(va, vb);
                     }
                 }
@@ -73,7 +80,9 @@ pub fn select_candidates(
         model.add_exactly_one(vars.iter().copied());
     }
 
-    match model.solve(SolveLimits { max_nodes: config.ilp_node_limit }) {
+    match model.solve(SolveLimits {
+        max_nodes: config.ilp_node_limit,
+    }) {
         Ok(solution) => {
             let mut chosen = vec![0usize; per_cell.len()];
             for &v in &solution.chosen {
@@ -86,9 +95,7 @@ pub fn select_candidates(
             // All-stay fallback: index of the stay candidate per group.
             per_cell
                 .iter()
-                .map(|cands| {
-                    cands.iter().position(|c| c.is_stay(design)).unwrap_or(0)
-                })
+                .map(|cands| cands.iter().position(|c| c.is_stay(design)).unwrap_or(0))
                 .collect()
         }
     }
@@ -179,7 +186,8 @@ mod tests {
     fn same_cell_moved_by_two_groups_is_exclusive() {
         let (d, cells) = design();
         let mut a = cand(&d, cells[0], Point::new(800, 0), 1.0);
-        a.moves.push((cells[1], Point::new(8000, 0), crp_geom::Orientation::N));
+        a.moves
+            .push((cells[1], Point::new(8000, 0), crp_geom::Orientation::N));
         let mut b = cand(&d, cells[1], Point::new(4800, 0), 1.0);
         let mut stay0 = Candidate::stay(&d, cells[0]);
         stay0.routing_cost = 2.0;
@@ -196,8 +204,11 @@ mod tests {
     #[test]
     fn all_stay_fallback_on_node_limit() {
         let (d, cells) = design();
-        let mut cfg = CrpConfig::default();
-        cfg.ilp_node_limit = 0; // force the limit immediately
+        // Node limit 0 forces the fallback immediately.
+        let cfg = CrpConfig {
+            ilp_node_limit: 0,
+            ..CrpConfig::default()
+        };
         let stay0 = Candidate::stay(&d, cells[0]);
         let per_cell = vec![vec![cand(&d, cells[0], Point::new(800, 0), 1.0), stay0]];
         let chosen = select_candidates(&d, &per_cell, &cfg);

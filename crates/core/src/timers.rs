@@ -19,6 +19,10 @@ pub struct StageTimers {
     pub select: Duration,
     /// Update Database — applying moves and rerouting nets.
     pub update: Duration,
+    /// Per-net price-cache hits during ECC (0 when the cache is off).
+    pub ecc_cache_hits: u64,
+    /// Per-net price-cache misses during ECC.
+    pub ecc_cache_misses: u64,
 }
 
 impl StageTimers {
@@ -41,6 +45,36 @@ impl StageTimers {
         self.ecc += other.ecc;
         self.select += other.select;
         self.update += other.update;
+        self.ecc_cache_hits += other.ecc_cache_hits;
+        self.ecc_cache_misses += other.ecc_cache_misses;
+    }
+
+    /// Price-cache hit rate over the ECC stage, in `[0, 1]`; `None` when
+    /// no cached lookups were made (cache disabled or nothing estimated).
+    #[must_use]
+    pub fn ecc_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.ecc_cache_hits + self.ecc_cache_misses;
+        #[allow(clippy::cast_precision_loss)]
+        (total > 0).then(|| self.ecc_cache_hits as f64 / total as f64)
+    }
+
+    /// One-line human-readable per-phase summary, with the cache hit rate
+    /// when the price cache was active.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "label {:?} | gcp {:?} | ecc {:?} | select {:?} | update {:?}",
+            self.label, self.gcp, self.ecc, self.select, self.update
+        );
+        if let Some(rate) = self.ecc_cache_hit_rate() {
+            s.push_str(&format!(
+                " | ecc cache {}/{} hits ({:.1}%)",
+                self.ecc_cache_hits,
+                self.ecc_cache_hits + self.ecc_cache_misses,
+                rate * 100.0
+            ));
+        }
+        s
     }
 
     /// Percentage breakdown `(gcp, ecc, ud, misc)` of the total, for the
@@ -72,11 +106,15 @@ mod tests {
             ecc: Duration::from_millis(30),
             select: Duration::from_millis(5),
             update: Duration::from_millis(35),
+            ecc_cache_hits: 7,
+            ecc_cache_misses: 3,
         };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.total(), Duration::from_millis(200));
         assert_eq!(a.misc(), Duration::from_millis(30));
+        assert_eq!(a.ecc_cache_hits, 14);
+        assert_eq!(a.ecc_cache_misses, 6);
     }
 
     #[test]
@@ -87,6 +125,7 @@ mod tests {
             ecc: Duration::from_millis(50),
             select: Duration::from_millis(5),
             update: Duration::from_millis(15),
+            ..StageTimers::default()
         };
         let (gcp, ecc, ud, misc) = t.breakdown_pct();
         assert!((gcp + ecc + ud + misc - 100.0).abs() < 1e-9);
@@ -96,5 +135,16 @@ mod tests {
     #[test]
     fn empty_breakdown_is_zero() {
         assert_eq!(StageTimers::default().breakdown_pct(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn cache_hit_rate_and_summary() {
+        let mut t = StageTimers::default();
+        assert_eq!(t.ecc_cache_hit_rate(), None);
+        assert!(!t.summary().contains("ecc cache"));
+        t.ecc_cache_hits = 3;
+        t.ecc_cache_misses = 1;
+        assert_eq!(t.ecc_cache_hit_rate(), Some(0.75));
+        assert!(t.summary().contains("3/4 hits (75.0%)"), "{}", t.summary());
     }
 }

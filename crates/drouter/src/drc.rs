@@ -135,10 +135,34 @@ mod tests {
     #[test]
     fn counts_by_kind() {
         let vs = vec![
-            Violation { net: NetId(0), kind: ViolationKind::Short { x: 0, y: 0, layer: 1 } },
-            Violation { net: NetId(0), kind: ViolationKind::Short { x: 1, y: 0, layer: 1 } },
-            Violation { net: NetId(1), kind: ViolationKind::Open },
-            Violation { net: NetId(2), kind: ViolationKind::Spacing { x: 2, y: 2, layer: 3 } },
+            Violation {
+                net: NetId(0),
+                kind: ViolationKind::Short {
+                    x: 0,
+                    y: 0,
+                    layer: 1,
+                },
+            },
+            Violation {
+                net: NetId(0),
+                kind: ViolationKind::Short {
+                    x: 1,
+                    y: 0,
+                    layer: 1,
+                },
+            },
+            Violation {
+                net: NetId(1),
+                kind: ViolationKind::Open,
+            },
+            Violation {
+                net: NetId(2),
+                kind: ViolationKind::Spacing {
+                    x: 2,
+                    y: 2,
+                    layer: 3,
+                },
+            },
         ];
         let r = DrcReport::from_violations(vs);
         assert_eq!(r.shorts, 2);
@@ -153,12 +177,19 @@ mod tests {
     fn empty_is_clean() {
         let r = DrcReport::default();
         assert!(r.is_clean());
-        assert_eq!(r.to_string(), "DRVs: 0 (shorts 0, spacing 0, min-area 0, opens 0)");
+        assert_eq!(
+            r.to_string(),
+            "DRVs: 0 (shorts 0, spacing 0, min-area 0, opens 0)"
+        );
     }
 
     #[test]
     fn kind_display() {
-        let k = ViolationKind::Short { x: 3, y: 4, layer: 1 };
+        let k = ViolationKind::Short {
+            x: 3,
+            y: 4,
+            layer: 1,
+        };
         assert_eq!(k.to_string(), "short at (3,4) M2");
         assert_eq!(ViolationKind::Open.to_string(), "open net");
     }

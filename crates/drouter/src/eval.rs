@@ -78,7 +78,9 @@ pub fn evaluate(result: &DetailedResult) -> Score {
         wirelength_dbu: result.wirelength_dbu,
         vias: result.vias,
         drvs,
-        weighted: WIRE_WEIGHT * wl_kdbu + VIA_WEIGHT * result.vias as f64 + DRV_WEIGHT * drvs as f64,
+        weighted: WIRE_WEIGHT * wl_kdbu
+            + VIA_WEIGHT * result.vias as f64
+            + DRV_WEIGHT * drvs as f64,
     }
 }
 
@@ -91,7 +93,11 @@ mod tests {
         let violations = (0..shorts)
             .map(|i| crate::drc::Violation {
                 net: crp_netlist::NetId(i as u32),
-                kind: crate::drc::ViolationKind::Short { x: 0, y: 0, layer: 1 },
+                kind: crate::drc::ViolationKind::Short {
+                    x: 0,
+                    y: 0,
+                    layer: 1,
+                },
             })
             .collect();
         DetailedResult {

@@ -51,5 +51,5 @@ mod eval;
 mod track;
 
 pub use drc::{DrcReport, Violation, ViolationKind};
-pub use eval::{evaluate, Score, WIRE_WEIGHT, VIA_WEIGHT, DRV_WEIGHT};
+pub use eval::{evaluate, Score, DRV_WEIGHT, VIA_WEIGHT, WIRE_WEIGHT};
 pub use track::{DetailedResult, DetailedRouter, DrConfig};

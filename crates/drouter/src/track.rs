@@ -22,7 +22,11 @@ pub struct DrConfig {
 
 impl Default for DrConfig {
     fn default() -> DrConfig {
-        DrConfig { slack_tracks: 4, detour_divisor: 2, max_layer_bump: 4 }
+        DrConfig {
+            slack_tracks: 4,
+            detour_divisor: 2,
+            max_layer_bump: 4,
+        }
     }
 }
 
@@ -105,16 +109,17 @@ impl DetailedRouter {
             // Open-net check (Eq. 2): the guide must connect all pins.
             let pins = net_pin_nodes(design, grid, net);
             if !route.connects(&pins) {
-                violations.push(Violation { net, kind: ViolationKind::Open });
+                violations.push(Violation {
+                    net,
+                    kind: ViolationKind::Open,
+                });
             }
 
             // Via stacks realize directly.
             vias += route.via_count();
 
             for seg in &route.segs {
-                let realized = self.realize_segment(
-                    grid, &cap, &mut occ, &idx, seg, nl,
-                );
+                let realized = self.realize_segment(grid, &cap, &mut occ, &idx, seg, nl);
                 match realized {
                     Realized::OnLayer => {}
                     Realized::Bumped(delta) => {
@@ -130,7 +135,11 @@ impl DetailedRouter {
                         for (x, y) in gcells {
                             violations.push(Violation {
                                 net,
-                                kind: ViolationKind::Short { x, y, layer: seg.layer },
+                                kind: ViolationKind::Short {
+                                    x,
+                                    y,
+                                    layer: seg.layer,
+                                },
                             });
                         }
                     }
@@ -328,7 +337,12 @@ mod tests {
         let seg = crp_router::RouteSeg::new(1, (0, 0), (4, 0));
         let extra = NetRoute {
             segs: vec![seg; 40],
-            vias: vec![ViaStack { x: 0, y: 0, lo: 0, hi: 1 }],
+            vias: vec![ViaStack {
+                x: 0,
+                y: 0,
+                lo: 0,
+                hi: 1,
+            }],
         };
         routing.routes[0] = extra;
         let r = DetailedRouter::new(DrConfig::default()).run(&d, &grid, &routing);
@@ -340,7 +354,10 @@ mod tests {
         let (d, grid, mut routing) = flow();
         let seg = crp_router::RouteSeg::new(1, (0, 0), (4, 0));
         // Enough copies to exhaust every X layer plus slack.
-        let extra = NetRoute { segs: vec![seg; 200], vias: vec![] };
+        let extra = NetRoute {
+            segs: vec![seg; 200],
+            vias: vec![],
+        };
         routing.routes[0] = extra;
         let r = DetailedRouter::new(DrConfig::default()).run(&d, &grid, &routing);
         assert!(r.drc.shorts > 0, "expected shorts: {:?}", r.drc);
@@ -355,7 +372,10 @@ mod tests {
         let mut longer = routing.clone();
         let mut r0 = longer.routes[0].clone();
         let dup = r0.segs.clone();
-        r0.segs.extend(dup.iter().map(|s| crp_router::RouteSeg::new(s.layer + 2, s.from, s.to)));
+        r0.segs.extend(
+            dup.iter()
+                .map(|s| crp_router::RouteSeg::new(s.layer + 2, s.from, s.to)),
+        );
         longer.routes[0] = r0;
         let more = DetailedRouter::new(DrConfig::default()).run(&d, &grid, &longer);
         assert!(more.wirelength_dbu > base.wirelength_dbu);
@@ -396,11 +416,20 @@ mod tests {
         let (d, grid, mut routing) = flow();
         // Overload one corridor so escapes matter.
         let seg = crp_router::RouteSeg::new(1, (0, 0), (4, 0));
-        routing.routes[0] = NetRoute { segs: vec![seg; 120], vias: vec![] };
-        let loose = DetailedRouter::new(DrConfig { slack_tracks: 4, ..DrConfig::default() })
-            .run(&d, &grid, &routing);
-        let tight = DetailedRouter::new(DrConfig { slack_tracks: 0, ..DrConfig::default() })
-            .run(&d, &grid, &routing);
+        routing.routes[0] = NetRoute {
+            segs: vec![seg; 120],
+            vias: vec![],
+        };
+        let loose = DetailedRouter::new(DrConfig {
+            slack_tracks: 4,
+            ..DrConfig::default()
+        })
+        .run(&d, &grid, &routing);
+        let tight = DetailedRouter::new(DrConfig {
+            slack_tracks: 0,
+            ..DrConfig::default()
+        })
+        .run(&d, &grid, &routing);
         assert!(
             tight.drc.total() >= loose.drc.total(),
             "tight {:?} vs loose {:?}",

@@ -19,7 +19,9 @@ use std::fmt;
 /// assert!(row.contains_interval(&cell));
 /// assert_eq!(row.len(), 1000);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub lo: Dbu,
@@ -31,7 +33,10 @@ impl Interval {
     /// Creates an interval, normalizing the bound order.
     #[must_use]
     pub fn new(a: Dbu, b: Dbu) -> Interval {
-        Interval { lo: a.min(b), hi: a.max(b) }
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Length of the interval.
@@ -68,7 +73,10 @@ impl Interval {
     #[must_use]
     pub fn intersection(&self, other: &Interval) -> Option<Interval> {
         if self.overlaps(other) {
-            Some(Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+            Some(Interval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
         } else {
             None
         }
@@ -77,7 +85,10 @@ impl Interval {
     /// The smallest interval containing both.
     #[must_use]
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Clamps `x` into the closed interval `[lo, hi]`.
@@ -133,7 +144,7 @@ mod tests {
             if let Some(i) = x.intersection(&y) {
                 prop_assert!(x.contains_interval(&i));
                 prop_assert!(y.contains_interval(&i));
-                prop_assert!(i.len() > 0);
+                prop_assert!(!i.is_empty());
             }
         }
 

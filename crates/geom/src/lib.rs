@@ -94,7 +94,14 @@ pub enum Dir {
 
 impl Dir {
     /// All six step directions.
-    pub const ALL: [Dir; 6] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Up, Dir::Down];
+    pub const ALL: [Dir; 6] = [
+        Dir::East,
+        Dir::West,
+        Dir::North,
+        Dir::South,
+        Dir::Up,
+        Dir::Down,
+    ];
 
     /// The opposite direction.
     ///

@@ -57,13 +57,19 @@ impl Orientation {
     /// Whether the orientation mirrors the cell.
     #[must_use]
     pub fn is_flipped(self) -> bool {
-        matches!(self, Orientation::FN | Orientation::FS | Orientation::FW | Orientation::FE)
+        matches!(
+            self,
+            Orientation::FN | Orientation::FS | Orientation::FW | Orientation::FE
+        )
     }
 
     /// Whether the orientation swaps the cell's width and height.
     #[must_use]
     pub fn swaps_axes(self) -> bool {
-        matches!(self, Orientation::W | Orientation::E | Orientation::FW | Orientation::FE)
+        matches!(
+            self,
+            Orientation::W | Orientation::E | Orientation::FW | Orientation::FE
+        )
     }
 
     /// The orientation of the row above/below in an alternating-row scheme.
@@ -128,7 +134,9 @@ impl FromStr for Orientation {
             .iter()
             .copied()
             .find(|o| o.as_str() == s)
-            .ok_or_else(|| ParseOrientationError { token: s.to_owned() })
+            .ok_or_else(|| ParseOrientationError {
+                token: s.to_owned(),
+            })
     }
 }
 
@@ -152,7 +160,12 @@ mod tests {
 
     #[test]
     fn row_alternate_is_involution_for_row_orients() {
-        for o in [Orientation::N, Orientation::FS, Orientation::S, Orientation::FN] {
+        for o in [
+            Orientation::N,
+            Orientation::FS,
+            Orientation::S,
+            Orientation::FN,
+        ] {
             assert_eq!(o.row_alternate().row_alternate(), o);
         }
     }

@@ -69,7 +69,11 @@ impl Point {
     /// Attaches a layer index, producing a [`Point3`].
     #[must_use]
     pub fn on_layer(self, layer: usize) -> Point3 {
-        Point3 { x: self.x, y: self.y, layer }
+        Point3 {
+            x: self.x,
+            y: self.y,
+            layer,
+        }
     }
 }
 

@@ -34,7 +34,10 @@ impl Rect {
     /// Creates a rectangle from two corners, normalizing their order.
     #[must_use]
     pub fn new(a: Point, b: Point) -> Rect {
-        Rect { lo: a.min(b), hi: a.max(b) }
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Creates a rectangle from the lower-left corner and a size.
@@ -45,7 +48,10 @@ impl Rect {
     #[must_use]
     pub fn with_size(lo: Point, width: Dbu, height: Dbu) -> Rect {
         assert!(width >= 0 && height >= 0, "rect size must be non-negative");
-        Rect { lo, hi: Point::new(lo.x + width, lo.y + height) }
+        Rect {
+            lo,
+            hi: Point::new(lo.x + width, lo.y + height),
+        }
     }
 
     /// Width (x-extent).
@@ -130,7 +136,10 @@ impl Rect {
     #[must_use]
     pub fn intersection(&self, other: &Rect) -> Option<Rect> {
         if self.intersects(other) {
-            Some(Rect { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+            Some(Rect {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
         } else {
             None
         }
@@ -139,7 +148,10 @@ impl Rect {
     /// The smallest rectangle containing both.
     #[must_use]
     pub fn union(&self, other: &Rect) -> Rect {
-        Rect { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Grows the rectangle by `margin` on every side (shrinks if negative).
@@ -158,7 +170,10 @@ impl Rect {
     /// Translates by `delta`.
     #[must_use]
     pub fn translate(&self, delta: Point) -> Rect {
-        Rect { lo: self.lo + delta, hi: self.hi + delta }
+        Rect {
+            lo: self.lo + delta,
+            hi: self.hi + delta,
+        }
     }
 
     /// Manhattan distance from `p` to the closest point of the rectangle
@@ -201,7 +216,10 @@ pub fn bounding_box<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
     let mut iter = points.into_iter();
     let first = iter.next()?;
     let (lo, hi) = iter.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
-    Some(Rect { lo, hi: hi + Point::new(1, 1) })
+    Some(Rect {
+        lo,
+        hi: hi + Point::new(1, 1),
+    })
 }
 
 #[cfg(test)]

@@ -29,6 +29,12 @@ pub struct RouteGrid {
     fixed: Vec<f64>,
     /// Via endpoints per (layer, gcell) — the `V` of `δ_e`.
     vias: Vec<f64>,
+    /// Monotonic congestion epoch: bumped by every wire/via mutation.
+    epoch: u64,
+    /// Last epoch each `(x, y)` gcell column was touched, row-major
+    /// (`y * nx + x`). Collapsed over layers: pricing regions are planar
+    /// bounding boxes, so a per-layer resolution would not tighten them.
+    touch2d: Vec<u64>,
 }
 
 /// A per-gcell congestion summary used by reports and the workload tuner.
@@ -76,6 +82,8 @@ impl RouteGrid {
             wire: vec![0.0; n],
             fixed: vec![0.0; n],
             vias: vec![0.0; n],
+            epoch: 0,
+            touch2d: vec![0; usize::from(nx) * usize::from(ny)],
         };
 
         for layer in 0..nl {
@@ -152,7 +160,10 @@ impl RouteGrid {
     pub fn gcell_rect(&self, x: u16, y: u16) -> Rect {
         let g = self.config.gcell_size;
         Rect::with_size(
-            Point::new(self.origin.x + i64::from(x) * g, self.origin.y + i64::from(y) * g),
+            Point::new(
+                self.origin.x + i64::from(x) * g,
+                self.origin.y + i64::from(y) * g,
+            ),
             g,
             g,
         )
@@ -297,6 +308,50 @@ impl RouteGrid {
         }
     }
 
+    /// The current congestion epoch: a monotonic counter bumped by every
+    /// wire or via mutation.
+    ///
+    /// Together with [`region_touched_since`](RouteGrid::region_touched_since)
+    /// this lets callers memoize congestion-dependent quantities (route
+    /// prices, costs) and invalidate them precisely: a memo taken at epoch
+    /// `t` over a gcell region stays valid while no gcell of the region is
+    /// touched after `t`.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which gcell column `(x, y)` was last touched by a
+    /// mutation (0 if never).
+    #[must_use]
+    pub fn touch_epoch(&self, x: u16, y: u16) -> u64 {
+        self.touch2d[usize::from(y) * usize::from(self.nx) + usize::from(x)]
+    }
+
+    /// Whether any gcell in the inclusive rectangle `lo..=hi` was touched
+    /// by a mutation after epoch `since`. Coordinates are clamped to the
+    /// grid.
+    #[must_use]
+    pub fn region_touched_since(&self, lo: (u16, u16), hi: (u16, u16), since: u64) -> bool {
+        let x1 = hi.0.min(self.nx - 1);
+        let y1 = hi.1.min(self.ny - 1);
+        let x0 = lo.0.min(x1);
+        let y0 = lo.1.min(y1);
+        for y in y0..=y1 {
+            let row = usize::from(y) * usize::from(self.nx);
+            let span = &self.touch2d[row + usize::from(x0)..=row + usize::from(x1)];
+            if span.iter().any(|&t| t > since) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn touch(&mut self, x: u16, y: u16) {
+        self.epoch += 1;
+        self.touch2d[usize::from(y) * usize::from(self.nx) + usize::from(x)] = self.epoch;
+    }
+
     /// Adds one unit of routed wire to a planar edge.
     ///
     /// # Panics
@@ -305,9 +360,13 @@ impl RouteGrid {
     pub fn add_wire(&mut self, edge: Edge) {
         match edge {
             Edge::Planar { layer, x, y } => {
-                debug_assert!(self.planar_edge_exists(layer, x, y), "no such edge {edge:?}");
+                debug_assert!(
+                    self.planar_edge_exists(layer, x, y),
+                    "no such edge {edge:?}"
+                );
                 let i = self.idx(layer, x, y);
                 self.wire[i] += 1.0;
+                self.touch(x, y);
             }
             Edge::Via { .. } => panic!("add_wire expects a planar edge"),
         }
@@ -324,6 +383,7 @@ impl RouteGrid {
                 let i = self.idx(layer, x, y);
                 assert!(self.wire[i] >= 1.0, "wire usage underflow on {edge:?}");
                 self.wire[i] -= 1.0;
+                self.touch(x, y);
             }
             Edge::Via { .. } => panic!("remove_wire expects a planar edge"),
         }
@@ -337,6 +397,7 @@ impl RouteGrid {
         let b = self.idx(lower + 1, x, y);
         self.vias[a] += 1.0;
         self.vias[b] += 1.0;
+        self.touch(x, y);
     }
 
     /// Removes a via previously recorded with [`add_via`](RouteGrid::add_via).
@@ -347,9 +408,13 @@ impl RouteGrid {
     pub fn remove_via(&mut self, x: u16, y: u16, lower: u16) {
         let a = self.idx(lower, x, y);
         let b = self.idx(lower + 1, x, y);
-        assert!(self.vias[a] >= 1.0 && self.vias[b] >= 1.0, "via count underflow");
+        assert!(
+            self.vias[a] >= 1.0 && self.vias[b] >= 1.0,
+            "via count underflow"
+        );
         self.vias[a] -= 1.0;
         self.vias[b] -= 1.0;
+        self.touch(x, y);
     }
 
     /// Adds fixed usage for a blockage rectangle on the lower
@@ -372,7 +437,8 @@ impl RouteGrid {
                     let blocked = match self.axis(layer) {
                         Axis::X => {
                             let boundary_x = cell.hi.x.min(self.origin.x + i64::from(self.nx) * g);
-                            if rect.x_span().contains(boundary_x - 1) || rect.x_span().contains(boundary_x)
+                            if rect.x_span().contains(boundary_x - 1)
+                                || rect.x_span().contains(boundary_x)
                             {
                                 rect.y_span()
                                     .intersection(&cell.y_span())
@@ -383,7 +449,8 @@ impl RouteGrid {
                         }
                         Axis::Y => {
                             let boundary_y = cell.hi.y;
-                            if rect.y_span().contains(boundary_y - 1) || rect.y_span().contains(boundary_y)
+                            if rect.y_span().contains(boundary_y - 1)
+                                || rect.y_span().contains(boundary_y)
                             {
                                 rect.x_span()
                                     .intersection(&cell.x_span())
@@ -407,7 +474,8 @@ impl RouteGrid {
         (self.config.min_routing_layer..self.nl).flat_map(move |layer| {
             (0..self.ny).flat_map(move |y| {
                 (0..self.nx).filter_map(move |x| {
-                    self.planar_edge_exists(layer, x, y).then_some(Edge::planar(layer, x, y))
+                    self.planar_edge_exists(layer, x, y)
+                        .then_some(Edge::planar(layer, x, y))
                 })
             })
         })
@@ -483,7 +551,8 @@ impl RouteGrid {
     /// The gcell-center Manhattan distance between two gcells, in DBU.
     #[must_use]
     pub fn center_distance(&self, a: (u16, u16), b: (u16, u16)) -> Dbu {
-        self.gcell_center(a.0, a.1).manhattan(self.gcell_center(b.0, b.1))
+        self.gcell_center(a.0, a.1)
+            .manhattan(self.gcell_center(b.0, b.1))
     }
 }
 
@@ -592,7 +661,8 @@ mod tests {
     fn blockage_consumes_capacity() {
         let mut d = design();
         // Blockage covering the boundary between gcells (0,0) and (1,0) on x.
-        d.blockages.push(Rect::with_size(Point::new(2000, 0), 2000, 3000));
+        d.blockages
+            .push(Rect::with_size(Point::new(2000, 0), 2000, 3000));
         let g = RouteGrid::new(&d, GridConfig::default());
         let e = Edge::planar(1, 0, 0); // M2 horizontal wires
         assert!(g.fixed_usage(e) > 0.0);
@@ -643,11 +713,79 @@ mod tests {
     }
 
     #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut g = grid();
+        let e0 = g.epoch();
+        g.add_wire(Edge::planar(1, 3, 3));
+        assert_eq!(g.epoch(), e0 + 1);
+        g.add_via(4, 4, 2);
+        assert_eq!(g.epoch(), e0 + 2);
+        g.remove_via(4, 4, 2);
+        g.remove_wire(Edge::planar(1, 3, 3));
+        assert_eq!(g.epoch(), e0 + 4);
+    }
+
+    #[test]
+    fn touch_epochs_localize_mutations() {
+        let mut g = grid();
+        let t0 = g.epoch();
+        g.add_wire(Edge::planar(1, 3, 3));
+        g.add_via(7, 8, 2);
+        assert!(g.touch_epoch(3, 3) > t0);
+        assert!(g.touch_epoch(7, 8) > t0);
+        assert_eq!(g.touch_epoch(5, 5), 0);
+        // Regions containing a touched gcell are dirty; others are clean.
+        assert!(g.region_touched_since((2, 2), (4, 4), t0));
+        assert!(g.region_touched_since((7, 8), (7, 8), t0));
+        assert!(!g.region_touched_since((10, 10), (19, 19), t0));
+        // Everything is clean relative to the current epoch.
+        assert!(!g.region_touched_since((0, 0), (19, 19), g.epoch()));
+    }
+
+    #[test]
+    fn region_query_clamps_out_of_range_rects() {
+        let mut g = grid();
+        g.add_wire(Edge::planar(1, 19, 18));
+        assert!(g.region_touched_since((18, 17), (40, 40), 0));
+        assert!(!g.region_touched_since((0, 0), (40, 40), g.epoch()));
+    }
+
+    #[test]
     fn route_cost_sums_edges() {
         let g = grid();
         let edges = [Edge::planar(1, 0, 0), Edge::via(0, 0, 1)];
         let sum = g.route_cost(&edges);
         assert!((sum - (g.cost(edges[0]) + g.cost(edges[1]))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq10_golden_costs_under_at_and_over_capacity() {
+        // Pins the exact Eq. 10 values for the default config (wire_unit
+        // 0.5, slope 1.0, β 1.5) on a wire-only edge, so any accidental
+        // change to the penalty sigmoid (sign, slope, normalization) or
+        // the unit scaling trips a concrete number, not just a trend.
+        let mut g = grid();
+        let e = Edge::planar(1, 5, 5);
+        assert_eq!(g.capacity(e), 15.0, "fixture drifted: M2 capacity");
+
+        // No vias anywhere: demand is exactly the wire count (β inert).
+        for golden in [
+            // (wires, penalty = 1/(1+exp(-(d-c))), cost = 0.5*(1+penalty))
+            (12.0, 1.0 / (1.0 + 3.0f64.exp()), 0.523_712_936_588_783_4), // d = c-3
+            (15.0, 0.5, 0.75),                                           // d = c
+            (18.0, 1.0 / (1.0 + (-3.0f64).exp()), 0.976_287_063_411_216_6), // d = c+3
+        ] {
+            let (wires, penalty, cost) = golden;
+            while g.demand(e) < wires {
+                g.add_wire(e);
+            }
+            assert_eq!(g.demand(e), wires);
+            assert!(
+                (g.penalty(e) - penalty).abs() < 1e-12,
+                "penalty at d={wires}"
+            );
+            assert!((g.cost(e) - cost).abs() < 1e-12, "cost at d={wires}");
+        }
     }
 
     #[test]
@@ -660,9 +798,15 @@ mod tests {
             assert!(a.x < 20 && a.y < 20);
         }
         // Horizontal layer M2: (nx-1)*ny edges; count a couple of layers.
-        let m2 = g.planar_edges().filter(|e| matches!(e, Edge::Planar { layer: 1, .. })).count();
+        let m2 = g
+            .planar_edges()
+            .filter(|e| matches!(e, Edge::Planar { layer: 1, .. }))
+            .count();
         assert_eq!(m2, 19 * 20);
-        let m3 = g.planar_edges().filter(|e| matches!(e, Edge::Planar { layer: 2, .. })).count();
+        let m3 = g
+            .planar_edges()
+            .filter(|e| matches!(e, Edge::Planar { layer: 2, .. }))
+            .count();
         assert_eq!(m3, 20 * 19);
     }
 }

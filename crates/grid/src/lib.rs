@@ -145,9 +145,7 @@ impl Edge {
                 };
                 (a, b)
             }
-            Edge::Via { x, y, lower } => {
-                (Gcell::new(x, y, lower), Gcell::new(x, y, lower + 1))
-            }
+            Edge::Via { x, y, lower } => (Gcell::new(x, y, lower), Gcell::new(x, y, lower + 1)),
         }
     }
 }
@@ -218,10 +216,14 @@ mod tests {
 
     #[test]
     fn steeper_slope_sharpens_transition() {
-        let mut a = GridConfig::default();
-        a.slope = 0.5;
-        let mut b = GridConfig::default();
-        b.slope = 4.0;
+        let a = GridConfig {
+            slope: 0.5,
+            ..GridConfig::default()
+        };
+        let b = GridConfig {
+            slope: 4.0,
+            ..GridConfig::default()
+        };
         // Below capacity the steep slope gives a smaller penalty...
         assert!(b.penalty(15.0, 20.0) < a.penalty(15.0, 20.0));
         // ...and above capacity a larger one.
@@ -230,7 +232,13 @@ mod tests {
 
     #[test]
     fn edge_endpoints() {
-        let axis = |l: u16| if l % 2 == 0 { Axis::Y } else { Axis::X };
+        let axis = |l: u16| {
+            if l.is_multiple_of(2) {
+                Axis::Y
+            } else {
+                Axis::X
+            }
+        };
         let (a, b) = Edge::planar(1, 3, 4).endpoints(axis);
         assert_eq!((a, b), (Gcell::new(3, 4, 1), Gcell::new(4, 4, 1)));
         let (a, b) = Edge::planar(2, 3, 4).endpoints(axis);

@@ -72,7 +72,9 @@ pub struct SolveLimits {
 
 impl Default for SolveLimits {
     fn default() -> SolveLimits {
-        SolveLimits { max_nodes: 10_000_000 }
+        SolveLimits {
+            max_nodes: 10_000_000,
+        }
     }
 }
 
@@ -119,7 +121,10 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Infeasible => f.write_str("model is infeasible"),
             SolveError::NodeLimit { nodes } => {
-                write!(f, "node limit reached after {nodes} nodes with no incumbent")
+                write!(
+                    f,
+                    "node limit reached after {nodes} nodes with no incumbent"
+                )
             }
             SolveError::UngroupedVariable { var } => {
                 write!(f, "variable {} belongs to no exactly-one group", var.0)
@@ -206,7 +211,9 @@ impl Model {
     pub fn solve(&self, limits: SolveLimits) -> Result<Solution, SolveError> {
         for (i, g) in self.group_of.iter().enumerate() {
             if g.is_none() {
-                return Err(SolveError::UngroupedVariable { var: VarId(i as u32) });
+                return Err(SolveError::UngroupedVariable {
+                    var: VarId(i as u32),
+                });
             }
         }
         if self.groups.is_empty() {
@@ -226,7 +233,7 @@ impl Model {
         // selection ILPs exact at design scale.
         let num_groups = self.groups.len();
         let mut comp: Vec<usize> = (0..num_groups).collect();
-        fn find(comp: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(comp: &mut [usize], mut i: usize) -> usize {
             while comp[i] != i {
                 comp[i] = comp[comp[i]];
                 i = comp[i];
@@ -259,7 +266,9 @@ impl Model {
         for component in component_list {
             if component.len() == 1 && {
                 let g = component[0];
-                self.groups[g].iter().all(|v| self.conflicts[v.index()].is_empty())
+                self.groups[g]
+                    .iter()
+                    .all(|v| self.conflicts[v.index()].is_empty())
             } {
                 // Conflict-free singleton: pick the cheapest variable.
                 let g = component[0];
@@ -284,9 +293,7 @@ impl Model {
                 .iter()
                 .map(|&g| {
                     let mut vars = self.groups[g].clone();
-                    vars.sort_by(|&a, &b| {
-                        self.costs[a.index()].total_cmp(&self.costs[b.index()])
-                    });
+                    vars.sort_by(|&a, &b| self.costs[a.index()].total_cmp(&self.costs[b.index()]));
                     vars
                 })
                 .collect();
@@ -324,14 +331,17 @@ impl Model {
                         proven = false;
                     }
                 }
-                None if search.aborted => {
-                    return Err(SolveError::NodeLimit { nodes: total_nodes })
-                }
+                None if search.aborted => return Err(SolveError::NodeLimit { nodes: total_nodes }),
                 None => return Err(SolveError::Infeasible),
             }
         }
 
-        Ok(Solution { chosen, objective, nodes: total_nodes, proven_optimal: proven })
+        Ok(Solution {
+            chosen,
+            objective,
+            nodes: total_nodes,
+            proven_optimal: proven,
+        })
     }
 
     /// Brute-force enumeration over all group combinations — exponential;
@@ -340,14 +350,21 @@ impl Model {
     pub fn solve_exhaustive(&self) -> Result<Solution, SolveError> {
         for (i, g) in self.group_of.iter().enumerate() {
             if g.is_none() {
-                return Err(SolveError::UngroupedVariable { var: VarId(i as u32) });
+                return Err(SolveError::UngroupedVariable {
+                    var: VarId(i as u32),
+                });
             }
         }
         let mut best: Option<(Vec<VarId>, f64)> = None;
         let mut stack = vec![0usize; self.groups.len()];
         let k = self.groups.len();
         if k == 0 {
-            return Ok(Solution { chosen: vec![], objective: 0.0, nodes: 0, proven_optimal: true });
+            return Ok(Solution {
+                chosen: vec![],
+                objective: 0.0,
+                nodes: 0,
+                proven_optimal: true,
+            });
         }
         'outer: loop {
             // Evaluate current combination.
@@ -380,9 +397,12 @@ impl Model {
             }
         }
         match best {
-            Some((chosen, objective)) => {
-                Ok(Solution { chosen, objective, nodes: 0, proven_optimal: true })
-            }
+            Some((chosen, objective)) => Ok(Solution {
+                chosen,
+                objective,
+                nodes: 0,
+                proven_optimal: true,
+            }),
             None => Err(SolveError::Infeasible),
         }
     }
@@ -532,7 +552,9 @@ impl Search<'_> {
         if cost_so_far + base >= self.best_cost {
             return;
         }
-        let Some(extra) = self.bound_extra(&states) else { return };
+        let Some(extra) = self.bound_extra(&states) else {
+            return;
+        };
         if cost_so_far + base + extra >= self.best_cost {
             return;
         }
@@ -552,8 +574,7 @@ impl Search<'_> {
         let vars = &self.sorted_groups[g];
 
         self.done[g] = true;
-        for i in 0..vars.len() {
-            let var = vars[i];
+        for &var in vars.iter() {
             if self.forbidden[var.index()] > 0 {
                 continue;
             }
@@ -682,8 +703,9 @@ mod tests {
         let mut m = Model::new();
         let mut all = Vec::new();
         for _ in 0..groups {
-            let vs: Vec<VarId> =
-                (0..vars_per).map(|_| m.add_var(rng.gen_range(0..100) as f64)).collect();
+            let vs: Vec<VarId> = (0..vars_per)
+                .map(|_| m.add_var(rng.gen_range(0..100) as f64))
+                .collect();
             all.extend(vs.iter().copied());
             m.add_exactly_one(vs);
         }
@@ -704,7 +726,10 @@ mod tests {
             let ex = m.solve_exhaustive();
             match (bb, ex) {
                 (Ok(a), Ok(b)) => {
-                    assert_eq!(a.objective, b.objective, "trial {trial}: objective mismatch");
+                    assert_eq!(
+                        a.objective, b.objective,
+                        "trial {trial}: objective mismatch"
+                    );
                     assert!(a.proven_optimal);
                 }
                 (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}

@@ -63,6 +63,18 @@ pub fn write_def(design: &Design) -> String {
     }
     let _ = writeln!(out, "END PINS");
 
+    if !design.blockages.is_empty() {
+        let _ = writeln!(out, "BLOCKAGES {} ;", design.blockages.len());
+        for blk in &design.blockages {
+            let _ = writeln!(
+                out,
+                "- PLACEMENT RECT ( {} {} ) ( {} {} ) ;",
+                blk.lo.x, blk.lo.y, blk.hi.x, blk.hi.y
+            );
+        }
+        let _ = writeln!(out, "END BLOCKAGES");
+    }
+
     let _ = writeln!(out, "NETS {} ;", design.num_nets());
     for (_, net) in design.nets() {
         let _ = write!(out, "- {}", net.name);
@@ -205,7 +217,8 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                                 .parse()
                                 .map_err(|e| ParseError::new(lx.line(), format!("{e}")))?;
                             lx.expect(";")?;
-                            let id = b.add_cell_oriented(&cname, macro_id, Point::new(x, y), orient);
+                            let id =
+                                b.add_cell_oriented(&cname, macro_id, Point::new(x, y), orient);
                             if fixed {
                                 fixed_cells.push(id);
                             }
@@ -237,8 +250,11 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                             lx.expect("+")?;
                             lx.expect("LAYER")?;
                             let lname = lx.ident()?;
-                            let layer =
-                                tech.layers.iter().position(|l| l.name == lname).unwrap_or(0);
+                            let layer = tech
+                                .layers
+                                .iter()
+                                .position(|l| l.name == lname)
+                                .unwrap_or(0);
                             lx.expect("+")?;
                             lx.expect("PLACED")?;
                             lx.expect("(")?;
@@ -253,6 +269,40 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                             return Err(ParseError::new(
                                 lx.line(),
                                 format!("unexpected `{other}` in PINS"),
+                            ))
+                        }
+                    }
+                }
+            }
+            "BLOCKAGES" => {
+                get_builder(&mut builder, lx.line())?;
+                lx.int()?;
+                lx.expect(";")?;
+                let b = builder.as_mut().expect("checked above");
+                loop {
+                    match lx.ident()? {
+                        "END" => {
+                            lx.expect("BLOCKAGES")?;
+                            break;
+                        }
+                        "-" => {
+                            lx.expect("PLACEMENT")?;
+                            lx.expect("RECT")?;
+                            lx.expect("(")?;
+                            let x0 = lx.int()?;
+                            let y0 = lx.int()?;
+                            lx.expect(")")?;
+                            lx.expect("(")?;
+                            let x1 = lx.int()?;
+                            let y1 = lx.int()?;
+                            lx.expect(")")?;
+                            lx.expect(";")?;
+                            b.add_blockage(Rect::new(Point::new(x0, y0), Point::new(x1, y1)));
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                lx.line(),
+                                format!("unexpected `{other}` in BLOCKAGES"),
                             ))
                         }
                     }
@@ -326,7 +376,10 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                 break;
             }
             other => {
-                return Err(ParseError::new(lx.line(), format!("unexpected `{other}` in DEF")))
+                return Err(ParseError::new(
+                    lx.line(),
+                    format!("unexpected `{other}` in DEF"),
+                ))
             }
         }
     }
@@ -395,6 +448,20 @@ mod tests {
             assert_eq!(rc.orient, cell.orient);
             assert_eq!(rc.fixed, cell.fixed);
         }
+    }
+
+    #[test]
+    fn roundtrip_preserves_blockages() {
+        let mut b = DesignBuilder::new("blk", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(MacroCell::new("INV", 400, 2000).with_pin("A", 100, 1000, 0));
+        b.add_rows(2, 20, Point::new(0, 0));
+        let _ = b.add_cell("u0", m, Point::new(0, 0));
+        b.add_blockage(Rect::with_size(Point::new(800, 0), 1200, 2000));
+        b.add_blockage(Rect::with_size(Point::new(0, 2000), 400, 2000));
+        let d = b.build();
+        let r = roundtrip(&d);
+        assert_eq!(r.blockages, d.blockages);
     }
 
     #[test]

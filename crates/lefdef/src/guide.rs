@@ -36,8 +36,12 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn write_guides(design: &Design, grid: &RouteGrid, routing: &Routing) -> String {
     let mut out = String::new();
-    let layer_name =
-        |l: u16| design.layers.get(usize::from(l)).map_or("M1", |li| li.name.as_str());
+    let layer_name = |l: u16| {
+        design
+            .layers
+            .get(usize::from(l))
+            .map_or("M1", |li| li.name.as_str())
+    };
     for (net_id, net) in design.nets() {
         let route = routing.route(net_id);
         let _ = writeln!(out, "{}\n(", net.name);
@@ -211,11 +215,17 @@ mod tests {
         for (_, net) in d.nets() {
             for &p in &net.pins {
                 let pos = d.pin_position(p);
-                let covered = g.lines().filter(|l| l.split_whitespace().count() == 5).any(|l| {
-                    let f: Vec<i64> =
-                        l.split_whitespace().take(4).map(|t| t.parse().unwrap()).collect();
-                    pos.x >= f[0] && pos.x < f[2] && pos.y >= f[1] && pos.y < f[3]
-                });
+                let covered = g
+                    .lines()
+                    .filter(|l| l.split_whitespace().count() == 5)
+                    .any(|l| {
+                        let f: Vec<i64> = l
+                            .split_whitespace()
+                            .take(4)
+                            .map(|t| t.parse().unwrap())
+                            .collect();
+                        pos.x >= f[0] && pos.x < f[2] && pos.y >= f[1] && pos.y < f[3]
+                    });
                 assert!(covered, "pin at {pos} not covered");
             }
         }

@@ -88,8 +88,7 @@ pub fn parse_lef(text: &str) -> Result<Tech, ParseError> {
     let mut layers: Vec<LayerInfo> = Vec::new();
     let mut macros: Vec<MacroCell> = Vec::new();
 
-    let to_dbu =
-        |v: f64, dbu: u32| -> Dbu { (v * f64::from(dbu)).round() as Dbu };
+    let to_dbu = |v: f64, dbu: u32| -> Dbu { (v * f64::from(dbu)).round() as Dbu };
 
     while let Some(tok) = lx.next() {
         match tok {
@@ -275,12 +274,20 @@ pub fn parse_lef(text: &str) -> Result<Tech, ParseError> {
                 break;
             }
             other => {
-                return Err(ParseError::new(lx.line(), format!("unexpected `{other}` in LEF")))
+                return Err(ParseError::new(
+                    lx.line(),
+                    format!("unexpected `{other}` in LEF"),
+                ))
             }
         }
     }
 
-    Ok(Tech { dbu_per_micron, site, layers, macros })
+    Ok(Tech {
+        dbu_per_micron,
+        site,
+        layers,
+        macros,
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -64,8 +67,14 @@ impl<'a> Lexer<'a> {
     pub(crate) fn expect(&mut self, want: &str) -> Result<(), ParseError> {
         match self.next() {
             Some(t) if t == want => Ok(()),
-            Some(t) => Err(ParseError::new(self.line(), format!("expected `{want}`, got `{t}`"))),
-            None => Err(ParseError::new(self.line(), format!("expected `{want}`, got end of file"))),
+            Some(t) => Err(ParseError::new(
+                self.line(),
+                format!("expected `{want}`, got `{t}`"),
+            )),
+            None => Err(ParseError::new(
+                self.line(),
+                format!("expected `{want}`, got end of file"),
+            )),
         }
     }
 

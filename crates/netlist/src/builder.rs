@@ -95,8 +95,17 @@ impl DesignBuilder {
 
     /// Adds a single row with an explicit orientation (used by the DEF
     /// reader, which must honour the file rather than alternate).
-    pub fn add_row_exact(&mut self, origin: Point, num_sites: u32, orient: Orientation) -> &mut Self {
-        self.design.rows.push(Row { origin, num_sites, orient });
+    pub fn add_row_exact(
+        &mut self,
+        origin: Point,
+        num_sites: u32,
+        orient: Orientation,
+    ) -> &mut Self {
+        self.design.rows.push(Row {
+            origin,
+            num_sites,
+            orient,
+        });
         self
     }
 
@@ -150,7 +159,10 @@ impl DesignBuilder {
     /// Declares an empty net.
     pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
         let id = NetId::from_index(self.design.nets.len());
-        self.design.nets.push(Net { name: name.into(), pins: Vec::new() });
+        self.design.nets.push(Net {
+            name: name.into(),
+            pins: Vec::new(),
+        });
         id
     }
 
@@ -170,7 +182,10 @@ impl DesignBuilder {
                 )
             });
         let pin = PinId::from_index(self.design.pins.len());
-        self.design.pins.push(Pin { net, owner: PinOwner::Cell { cell, macro_pin } });
+        self.design.pins.push(Pin {
+            net,
+            owner: PinOwner::Cell { cell, macro_pin },
+        });
         self.design.nets[net.index()].pins.push(pin);
         self.design.cells[cell.index()].pins.push(pin);
         pin
@@ -198,7 +213,10 @@ impl DesignBuilder {
             "macro pin index {macro_pin} out of range"
         );
         let pin = PinId::from_index(self.design.pins.len());
-        self.design.pins.push(Pin { net, owner: PinOwner::Cell { cell, macro_pin } });
+        self.design.pins.push(Pin {
+            net,
+            owner: PinOwner::Cell { cell, macro_pin },
+        });
         self.design.nets[net.index()].pins.push(pin);
         self.design.cells[cell.index()].pins.push(pin);
         pin
@@ -207,7 +225,10 @@ impl DesignBuilder {
     /// Connects a fixed I/O pad at `pos` on `layer` to `net`.
     pub fn connect_io(&mut self, net: NetId, pos: Point, layer: usize) -> PinId {
         let pin = PinId::from_index(self.design.pins.len());
-        self.design.pins.push(Pin { net, owner: PinOwner::Io { pos, layer } });
+        self.design.pins.push(Pin {
+            net,
+            owner: PinOwner::Io { pos, layer },
+        });
         self.design.nets[net.index()].pins.push(pin);
         pin
     }

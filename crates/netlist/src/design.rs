@@ -74,7 +74,11 @@ impl Row {
     /// The row's footprint given the site geometry.
     #[must_use]
     pub fn rect(&self, site: SiteInfo) -> Rect {
-        Rect::with_size(self.origin, site.width * Dbu::from(self.num_sites), site.height)
+        Rect::with_size(
+            self.origin,
+            site.width * Dbu::from(self.num_sites),
+            site.height,
+        )
     }
 
     /// X coordinate of site `i` in this row.
@@ -163,12 +167,18 @@ impl Design {
 
     /// Iterates over `(CellId, &Cell)`.
     pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
-        self.cells.iter().enumerate().map(|(i, c)| (CellId::from_index(i), c))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
     }
 
     /// Iterates over `(NetId, &Net)`.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
-        self.nets.iter().enumerate().map(|(i, n)| (NetId::from_index(i), n))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::from_index(i), n))
     }
 
     /// Iterates over all cell ids.
@@ -360,7 +370,9 @@ impl Design {
         let row_area: i128 = self
             .rows
             .iter()
-            .map(|r| i128::from(r.num_sites) * i128::from(self.site.width) * i128::from(self.site.height))
+            .map(|r| {
+                i128::from(r.num_sites) * i128::from(self.site.width) * i128::from(self.site.height)
+            })
             .sum();
         if row_area == 0 {
             return 0.0;
@@ -464,8 +476,7 @@ mod tests {
         let cell = CellId(0);
         let pin = d.cell(cell).pins[0];
         let target = (Point::new(800, 2000), crp_geom::Orientation::FS);
-        let hypothetical =
-            d.pin_position_overridden(pin, |c| (c == cell).then_some(target));
+        let hypothetical = d.pin_position_overridden(pin, |c| (c == cell).then_some(target));
         d.move_cell(cell, target.0, target.1);
         assert_eq!(hypothetical, d.pin_position(pin));
     }

@@ -182,7 +182,13 @@ mod tests {
         b.add_cell("u0", m, Point::new(0, 0));
         b.add_cell("u1", m, Point::new(200, 0));
         let v = check_legality(&b.build());
-        assert_eq!(v, vec![LegalityViolation::Overlap { a: CellId(0), b: CellId(1) }]);
+        assert_eq!(
+            v,
+            vec![LegalityViolation::Overlap {
+                a: CellId(0),
+                b: CellId(1)
+            }]
+        );
     }
 
     #[test]
@@ -236,7 +242,10 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = LegalityViolation::Overlap { a: CellId(0), b: CellId(1) };
+        let v = LegalityViolation::Overlap {
+            a: CellId(0),
+            b: CellId(1),
+        };
         assert_eq!(v.to_string(), "c0 overlaps c1");
     }
 }

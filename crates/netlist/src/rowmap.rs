@@ -122,7 +122,9 @@ impl RowMap {
     /// overlapping any *other* cell (blockages are not checked here).
     #[must_use]
     pub fn slot_is_free(&self, design: &Design, cell: CellId, pos: Point) -> bool {
-        let Some(r) = design.row_with_origin_y(pos.y) else { return false };
+        let Some(r) = design.row_with_origin_y(pos.y) else {
+            return false;
+        };
         let m = design.macro_of(cell);
         let span = Interval::new(pos.x, pos.x + m.width);
         self.rows[r.index()]

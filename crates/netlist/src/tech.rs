@@ -120,13 +120,28 @@ impl MacroCell {
     #[must_use]
     pub fn new(name: impl Into<String>, width: Dbu, height: Dbu) -> MacroCell {
         assert!(width > 0 && height > 0, "macro dimensions must be positive");
-        MacroCell { name: name.into(), width, height, pins: Vec::new() }
+        MacroCell {
+            name: name.into(),
+            width,
+            height,
+            pins: Vec::new(),
+        }
     }
 
     /// Adds a pin at `(dx, dy)` from the macro origin on `layer` (builder style).
     #[must_use]
-    pub fn with_pin(mut self, name: impl Into<String>, dx: Dbu, dy: Dbu, layer: usize) -> MacroCell {
-        self.pins.push(MacroPin { name: name.into(), offset: Point::new(dx, dy), layer });
+    pub fn with_pin(
+        mut self,
+        name: impl Into<String>,
+        dx: Dbu,
+        dy: Dbu,
+        layer: usize,
+    ) -> MacroCell {
+        self.pins.push(MacroPin {
+            name: name.into(),
+            offset: Point::new(dx, dy),
+            layer,
+        });
         self
     }
 

@@ -60,7 +60,10 @@ impl GlobalRouter {
     /// Creates a router with the given configuration.
     #[must_use]
     pub fn new(config: RouterConfig) -> GlobalRouter {
-        GlobalRouter { config, history: HashMap::new() }
+        GlobalRouter {
+            config,
+            history: HashMap::new(),
+        }
     }
 
     /// The configuration in use.
@@ -100,7 +103,11 @@ impl GlobalRouter {
                 old.uncommit(grid);
                 let pins: Vec<PinNode> = pin_nodes(design, grid, net);
                 let improved = crate::layerdp::reassign_layers(grid, &old, &pins);
-                let keep = if improved.cost(grid) < old.cost(grid) { improved } else { old };
+                let keep = if improved.cost(grid) < old.cost(grid) {
+                    improved
+                } else {
+                    old
+                };
                 keep.commit(grid);
                 routing.routes[net.index()] = keep;
             }
@@ -216,8 +223,10 @@ impl GlobalRouter {
         let route = self.maze_route_net(grid, &pins).unwrap_or_else(|| {
             // Fall back to a fresh pattern route if the maze cannot connect
             // (cannot normally happen on a connected grid).
-            let pn: Vec<PinNode> =
-                pins.iter().map(|&(x, y, l)| PinNode::new(x, y, l)).collect();
+            let pn: Vec<PinNode> = pins
+                .iter()
+                .map(|&(x, y, l)| PinNode::new(x, y, l))
+                .collect();
             pattern_route_tree(grid, &pn, &self.history, self.config.hist_weight)
         });
         route.commit(grid);
@@ -383,10 +392,15 @@ mod tests {
         // A deliberately tight grid: shrink capacity by using a coarse
         // gcell with few tracks.
         let d = design();
-        let mut cfg = GridConfig::default();
-        cfg.gcell_size = 6000;
+        let cfg = GridConfig {
+            gcell_size: 6000,
+            ..GridConfig::default()
+        };
         let mut grid = RouteGrid::new(&d, cfg);
-        let mut router = GlobalRouter::new(RouterConfig { rrr_rounds: 0, ..RouterConfig::default() });
+        let mut router = GlobalRouter::new(RouterConfig {
+            rrr_rounds: 0,
+            ..RouterConfig::default()
+        });
         let routing0 = router.route_all(&d, &mut grid);
         let overflow_no_rrr = grid.congestion().total_overflow;
         drop(routing0);
@@ -409,7 +423,11 @@ mod tests {
             let mut grid = RouteGrid::new(&d, GridConfig::default());
             let mut router = GlobalRouter::new(RouterConfig::default());
             let routing = router.route_all(&d, &mut grid);
-            (routing.total_wirelength(), routing.total_vias(), routing.total_cost(&grid))
+            (
+                routing.total_wirelength(),
+                routing.total_vias(),
+                routing.total_cost(&grid),
+            )
         };
         assert_eq!(run(), run());
     }

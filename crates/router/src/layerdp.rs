@@ -87,7 +87,9 @@ pub fn reassign_layers(grid: &RouteGrid, route: &NetRoute, pins: &[PinNode]) -> 
     // cost[i][l]: best cost of segment i's subtree with i on layer l.
     let layers_for = |s: &RouteSeg| -> Vec<u16> {
         let axis = if s.is_horizontal() { Axis::X } else { Axis::Y };
-        (0..nl).filter(|&l| grid.is_routable(l) && grid.axis(l) == axis).collect()
+        (0..nl)
+            .filter(|&l| grid.is_routable(l) && grid.axis(l) == axis)
+            .collect()
     };
     let wire_cost = |s: &RouteSeg, l: u16| -> f64 {
         let proto = RouteSeg::new(l, s.from, s.to);
@@ -183,7 +185,10 @@ pub fn reassign_layers(grid: &RouteGrid, route: &NetRoute, pins: &[PinNode]) -> 
         .map(|(s, &l)| RouteSeg::new(l, s.from, s.to))
         .collect();
     let vias = rebuild_stacks(&new_segs, pins);
-    let mut out = NetRoute { segs: new_segs, vias };
+    let mut out = NetRoute {
+        segs: new_segs,
+        vias,
+    };
     out.normalize();
     out
 }
@@ -235,7 +240,11 @@ mod tests {
         let g = grid();
         let cases: Vec<Vec<PinNode>> = vec![
             vec![PinNode::new(0, 0, 0), PinNode::new(8, 6, 0)],
-            vec![PinNode::new(1, 1, 0), PinNode::new(7, 1, 0), PinNode::new(4, 8, 0)],
+            vec![
+                PinNode::new(1, 1, 0),
+                PinNode::new(7, 1, 0),
+                PinNode::new(4, 8, 0),
+            ],
             vec![
                 PinNode::new(0, 0, 0),
                 PinNode::new(9, 0, 0),
@@ -246,8 +255,7 @@ mod tests {
         for pins in cases {
             let greedy = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
             let dp = reassign_layers(&g, &greedy, &pins);
-            let nodes: Vec<(u16, u16, u16)> =
-                pins.iter().map(|p| (p.x, p.y, p.layer)).collect();
+            let nodes: Vec<(u16, u16, u16)> = pins.iter().map(|p| (p.x, p.y, p.layer)).collect();
             assert!(dp.connects(&nodes), "DP broke connectivity for {pins:?}");
             assert!(
                 route_cost(&g, &dp) <= route_cost(&g, &greedy) + 1e-9,

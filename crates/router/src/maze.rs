@@ -171,7 +171,12 @@ pub fn path_to_route(path: &[Node]) -> NetRoute {
             }
             let lo = path[i].2.min(path[j].2);
             let hi = path[i].2.max(path[j].2);
-            route.vias.push(ViaStack { x: x0, y: y0, lo, hi });
+            route.vias.push(ViaStack {
+                x: x0,
+                y: y0,
+                lo,
+                hi,
+            });
             i = j;
         } else {
             // Extend the straight planar run.
@@ -182,15 +187,15 @@ pub fn path_to_route(path: &[Node]) -> NetRoute {
                 if nl2 != l0 {
                     break;
                 }
-                if horiz && ny2 == y0 {
-                    j += 1;
-                } else if !horiz && nx2 == x0 {
-                    j += 1;
-                } else {
+                let run_continues = if horiz { ny2 == y0 } else { nx2 == x0 };
+                if !run_continues {
                     break;
                 }
+                j += 1;
             }
-            route.segs.push(RouteSeg::new(l0, (x0, y0), (path[j].0, path[j].1)));
+            route
+                .segs
+                .push(RouteSeg::new(l0, (x0, y0), (path[j].0, path[j].1)));
             i = j;
         }
         let _ = (x1, y1);
@@ -269,14 +274,23 @@ mod tests {
         assert!(div_route.connects(&[(0, 5, 0), (9, 5, 0)]));
         // The diverted route must leave row 5 somewhere.
         let leaves_row = div_route.segs.iter().any(|s| s.from.1 != 5 || s.to.1 != 5);
-        assert!(leaves_row, "route did not divert: {div_route:?} (free was {free_route:?})");
+        assert!(
+            leaves_row,
+            "route did not divert: {div_route:?} (free was {free_route:?})"
+        );
     }
 
     #[test]
     fn multi_source_picks_nearest() {
         let g = grid();
-        let path =
-            maze_route(&g, &[(0, 0, 1), (8, 8, 1)], &[(9, 9, 1)], &HashMap::new(), 0.0).unwrap();
+        let path = maze_route(
+            &g,
+            &[(0, 0, 1), (8, 8, 1)],
+            &[(9, 9, 1)],
+            &HashMap::new(),
+            0.0,
+        )
+        .unwrap();
         assert_eq!(path.first(), Some(&(8, 8, 1)));
     }
 }

@@ -47,7 +47,13 @@ pub(crate) struct CostCtx<'a> {
 
 impl<'a> CostCtx<'a> {
     pub(crate) fn new(grid: &'a RouteGrid) -> CostCtx<'a> {
-        CostCtx { grid, history: None, hist_weight: 0.0, discount: None, layer_bias: 1e-6 }
+        CostCtx {
+            grid,
+            history: None,
+            hist_weight: 0.0,
+            discount: None,
+            layer_bias: 1e-6,
+        }
     }
 
     pub(crate) fn with_history(
@@ -55,14 +61,26 @@ impl<'a> CostCtx<'a> {
         history: &'a HashMap<Edge, f64>,
         hist_weight: f64,
     ) -> CostCtx<'a> {
-        CostCtx { grid, history: Some(history), hist_weight, discount: None, layer_bias: 1e-6 }
+        CostCtx {
+            grid,
+            history: Some(history),
+            hist_weight,
+            discount: None,
+            layer_bias: 1e-6,
+        }
     }
 
     pub(crate) fn with_discount(
         grid: &'a RouteGrid,
         discount: &'a HashMap<Edge, f64>,
     ) -> CostCtx<'a> {
-        CostCtx { grid, history: None, hist_weight: 0.0, discount: Some(discount), layer_bias: 1e-6 }
+        CostCtx {
+            grid,
+            history: None,
+            hist_weight: 0.0,
+            discount: Some(discount),
+            layer_bias: 1e-6,
+        }
     }
 
     pub(crate) fn edge_cost(&self, e: Edge) -> f64 {
@@ -157,7 +175,9 @@ fn pattern_route_edge(ctx: &CostCtx<'_>, a: (u16, u16), b: (u16, u16)) -> Vec<Se
         let m1 = (xm, a.1);
         let m2 = (xm, b.1);
         candidates.push((
-            ctx.run_cost_h(a.1, a.0, xm) + ctx.run_cost_v(xm, a.1, b.1) + ctx.run_cost_h(b.1, xm, b.0),
+            ctx.run_cost_h(a.1, a.0, xm)
+                + ctx.run_cost_v(xm, a.1, b.1)
+                + ctx.run_cost_h(b.1, xm, b.0),
             vec![Seg2 { a, b: m1 }, Seg2 { a: m1, b: m2 }, Seg2 { a: m2, b }],
         ));
     }
@@ -167,7 +187,9 @@ fn pattern_route_edge(ctx: &CostCtx<'_>, a: (u16, u16), b: (u16, u16)) -> Vec<Se
         let m1 = (a.0, ym);
         let m2 = (b.0, ym);
         candidates.push((
-            ctx.run_cost_v(a.0, a.1, ym) + ctx.run_cost_h(ym, a.0, b.0) + ctx.run_cost_v(b.0, ym, b.1),
+            ctx.run_cost_v(a.0, a.1, ym)
+                + ctx.run_cost_h(ym, a.0, b.0)
+                + ctx.run_cost_v(b.0, ym, b.1),
             vec![Seg2 { a, b: m1 }, Seg2 { a: m1, b: m2 }, Seg2 { a: m2, b }],
         ));
     }
@@ -252,8 +274,10 @@ pub(crate) fn route_with_ctx(ctx: &CostCtx<'_>, pins: &[PinNode]) -> NetRoute {
     }
 
     // Steiner topology over the distinct pin gcells.
-    let terminals: Vec<Point> =
-        pins.iter().map(|p| Point::new(i64::from(p.x), i64::from(p.y))).collect();
+    let terminals: Vec<Point> = pins
+        .iter()
+        .map(|p| Point::new(i64::from(p.x), i64::from(p.y)))
+        .collect();
     let tree = rsmt(&terminals);
 
     let as_gcell = |p: Point| -> (u16, u16) { (p.x as u16, p.y as u16) };
@@ -448,7 +472,10 @@ mod tests {
         let pins = [PinNode::new(0, 5, 0), PinNode::new(12, 5, 0)];
         let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
         assert_eq!(r.segs.len(), 1);
-        assert_ne!(r.segs[0].layer, 1, "expected a higher layer than congested M2");
+        assert_ne!(
+            r.segs[0].layer, 1,
+            "expected a higher layer than congested M2"
+        );
     }
 
     #[test]
@@ -461,7 +488,12 @@ mod tests {
                 hist.insert(Edge::planar(l, x, 3), 100.0);
             }
         }
-        let r = pattern_route_tree(&g, &[PinNode::new(2, 3, 0), PinNode::new(8, 3, 0)], &hist, 1.0);
+        let r = pattern_route_tree(
+            &g,
+            &[PinNode::new(2, 3, 0), PinNode::new(8, 3, 0)],
+            &hist,
+            1.0,
+        );
         // Straight is the only pattern for aligned pins, but layer
         // assignment cannot escape (all layers penalized); the route is
         // still produced and connected.
@@ -498,7 +530,10 @@ mod tests {
             }
         }
         let after = price_net(&g, &pins);
-        assert!(after > before, "congestion must raise the price: {before} -> {after}");
+        assert!(
+            after > before,
+            "congestion must raise the price: {before} -> {after}"
+        );
     }
 
     mod properties {
@@ -516,7 +551,7 @@ mod tests {
                     pins.iter().map(|&(x, y, l)| PinNode::new(x, y, l)).collect();
                 let r = pattern_route_tree(&g, &nodes, &HashMap::new(), 0.0);
                 let mut want: Vec<(u16, u16, u16)> =
-                    pins.iter().copied().collect();
+                    pins.to_vec();
                 want.sort_unstable();
                 want.dedup();
                 prop_assert!(r.connects(&want), "disconnected route {:?} for {:?}", r, want);

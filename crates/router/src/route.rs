@@ -28,7 +28,10 @@ impl RouteSeg {
     /// Panics if the endpoints are not axis-aligned.
     #[must_use]
     pub fn new(layer: u16, a: (u16, u16), b: (u16, u16)) -> RouteSeg {
-        assert!(a.0 == b.0 || a.1 == b.1, "segment must be axis-aligned: {a:?}..{b:?}");
+        assert!(
+            a.0 == b.0 || a.1 == b.1,
+            "segment must be axis-aligned: {a:?}..{b:?}"
+        );
         let from = (a.0.min(b.0), a.1.min(b.1));
         let to = (a.0.max(b.0), a.1.max(b.1));
         RouteSeg { layer, from, to }
@@ -73,7 +76,11 @@ impl RouteSeg {
     /// The gcells the segment passes through, inclusive of both endpoints.
     pub fn gcells(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
         let horiz = self.from.1 == self.to.1;
-        let (lo, hi) = if horiz { (self.from.0, self.to.0) } else { (self.from.1, self.to.1) };
+        let (lo, hi) = if horiz {
+            (self.from.0, self.to.0)
+        } else {
+            (self.from.1, self.to.1)
+        };
         let fixed = if horiz { self.from.1 } else { self.from.0 };
         (lo..=hi).map(move |c| if horiz { (c, fixed) } else { (fixed, c) })
     }
@@ -143,8 +150,7 @@ impl NetRoute {
     /// All grid edges (planar then via) of the route.
     #[must_use]
     pub fn edges(&self) -> Vec<Edge> {
-        let mut out: Vec<Edge> =
-            self.segs.iter().flat_map(RouteSeg::edges).collect();
+        let mut out: Vec<Edge> = self.segs.iter().flat_map(RouteSeg::edges).collect();
         out.extend(self.vias.iter().flat_map(ViaStack::edges));
         out
     }
@@ -220,17 +226,17 @@ impl NetRoute {
         for v in &self.vias {
             edge_set.extend(v.edges());
         }
-        let mut adj: HashMap<(u16, u16, u16), Vec<(u16, u16, u16)>> = HashMap::new();
+        type Node3 = (u16, u16, u16);
+        let mut adj: HashMap<Node3, Vec<Node3>> = HashMap::new();
         for &e in &edge_set {
             let (a, b) = match e {
                 Edge::Planar { layer, x, y } => {
                     // Determine direction from some segment that covers it.
                     // Horizontal if a segment with this layer and this edge
                     // is horizontal: infer by probing both orientations.
-                    let h = self
-                        .segs
-                        .iter()
-                        .any(|s| s.layer == layer && s.edges().any(|se| se == e) && s.from.1 == s.to.1);
+                    let h = self.segs.iter().any(|s| {
+                        s.layer == layer && s.edges().any(|se| se == e) && s.from.1 == s.to.1
+                    });
                     if h {
                         ((x, y, layer), (x + 1, y, layer))
                     } else {
@@ -292,7 +298,9 @@ impl Routing {
     /// An all-empty routing for `num_nets` nets.
     #[must_use]
     pub fn with_nets(num_nets: usize) -> Routing {
-        Routing { routes: vec![NetRoute::empty(); num_nets] }
+        Routing {
+            routes: vec![NetRoute::empty(); num_nets],
+        }
     }
 
     /// The route of `net`.
@@ -354,9 +362,9 @@ pub fn net_pin_nodes(design: &Design, grid: &RouteGrid, net: NetId) -> Vec<(u16,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crp_geom::Point;
     use crp_grid::GridConfig;
     use crp_netlist::DesignBuilder;
-    use crp_geom::Point;
 
     fn grid() -> RouteGrid {
         let mut b = DesignBuilder::new("g", 1000);
@@ -393,18 +401,34 @@ mod tests {
 
     #[test]
     fn via_stack_edges() {
-        let v = ViaStack { x: 1, y: 2, lo: 0, hi: 3 };
+        let v = ViaStack {
+            x: 1,
+            y: 2,
+            lo: 0,
+            hi: 3,
+        };
         assert_eq!(v.count(), 3);
         let edges: Vec<Edge> = v.edges().collect();
-        assert_eq!(edges, vec![Edge::via(1, 2, 0), Edge::via(1, 2, 1), Edge::via(1, 2, 2)]);
+        assert_eq!(
+            edges,
+            vec![Edge::via(1, 2, 0), Edge::via(1, 2, 1), Edge::via(1, 2, 2)]
+        );
     }
 
     #[test]
     fn commit_uncommit_roundtrip() {
         let mut g = grid();
         let route = NetRoute {
-            segs: vec![RouteSeg::new(1, (0, 0), (3, 0)), RouteSeg::new(2, (3, 0), (3, 2))],
-            vias: vec![ViaStack { x: 3, y: 0, lo: 1, hi: 2 }],
+            segs: vec![
+                RouteSeg::new(1, (0, 0), (3, 0)),
+                RouteSeg::new(2, (3, 0), (3, 2)),
+            ],
+            vias: vec![ViaStack {
+                x: 3,
+                y: 0,
+                lo: 1,
+                hi: 2,
+            }],
         };
         let before: Vec<f64> = route.edges().iter().map(|&e| g.demand(e)).collect();
         route.commit(&mut g);
@@ -420,11 +444,29 @@ mod tests {
     #[test]
     fn connects_l_shape_with_via() {
         let route = NetRoute {
-            segs: vec![RouteSeg::new(1, (0, 0), (3, 0)), RouteSeg::new(2, (3, 0), (3, 2))],
+            segs: vec![
+                RouteSeg::new(1, (0, 0), (3, 0)),
+                RouteSeg::new(2, (3, 0), (3, 2)),
+            ],
             vias: vec![
-                ViaStack { x: 0, y: 0, lo: 0, hi: 1 },
-                ViaStack { x: 3, y: 0, lo: 1, hi: 2 },
-                ViaStack { x: 3, y: 2, lo: 0, hi: 2 },
+                ViaStack {
+                    x: 0,
+                    y: 0,
+                    lo: 0,
+                    hi: 1,
+                },
+                ViaStack {
+                    x: 3,
+                    y: 0,
+                    lo: 1,
+                    hi: 2,
+                },
+                ViaStack {
+                    x: 3,
+                    y: 2,
+                    lo: 0,
+                    hi: 2,
+                },
             ],
         };
         assert!(route.connects(&[(0, 0, 0), (3, 2, 0)]));
@@ -436,7 +478,12 @@ mod tests {
     fn missing_pin_via_breaks_connectivity() {
         let route = NetRoute {
             segs: vec![RouteSeg::new(1, (0, 0), (3, 0))],
-            vias: vec![ViaStack { x: 0, y: 0, lo: 0, hi: 1 }],
+            vias: vec![ViaStack {
+                x: 0,
+                y: 0,
+                lo: 0,
+                hi: 1,
+            }],
         };
         // Pin at (3,0,0) has no via down from layer 1.
         assert!(!route.connects(&[(0, 0, 0), (3, 0, 0)]));
@@ -457,14 +504,37 @@ mod tests {
                 RouteSeg::new(1, (0, 0), (2, 0)),
             ],
             vias: vec![
-                ViaStack { x: 0, y: 0, lo: 0, hi: 1 },
-                ViaStack { x: 0, y: 0, lo: 1, hi: 3 },
-                ViaStack { x: 1, y: 1, lo: 2, hi: 2 },
+                ViaStack {
+                    x: 0,
+                    y: 0,
+                    lo: 0,
+                    hi: 1,
+                },
+                ViaStack {
+                    x: 0,
+                    y: 0,
+                    lo: 1,
+                    hi: 3,
+                },
+                ViaStack {
+                    x: 1,
+                    y: 1,
+                    lo: 2,
+                    hi: 2,
+                },
             ],
         };
         r.normalize();
         assert_eq!(r.segs.len(), 1);
-        assert_eq!(r.vias, vec![ViaStack { x: 0, y: 0, lo: 0, hi: 3 }]);
+        assert_eq!(
+            r.vias,
+            vec![ViaStack {
+                x: 0,
+                y: 0,
+                lo: 0,
+                hi: 3
+            }]
+        );
     }
 
     #[test]
@@ -472,7 +542,12 @@ mod tests {
         let mut routing = Routing::with_nets(2);
         routing.routes[0] = NetRoute {
             segs: vec![RouteSeg::new(1, (0, 0), (4, 0))],
-            vias: vec![ViaStack { x: 0, y: 0, lo: 0, hi: 1 }],
+            vias: vec![ViaStack {
+                x: 0,
+                y: 0,
+                lo: 0,
+                hi: 1,
+            }],
         };
         assert_eq!(routing.total_wirelength(), 4);
         assert_eq!(routing.total_vias(), 1);

@@ -52,7 +52,11 @@ impl SteinerTree {
     /// A tree over a single terminal (no edges).
     #[must_use]
     pub fn singleton(p: Point) -> SteinerTree {
-        SteinerTree { points: vec![p], num_terminals: 1, edges: Vec::new() }
+        SteinerTree {
+            points: vec![p],
+            num_terminals: 1,
+            edges: Vec::new(),
+        }
     }
 
     /// Total Manhattan wirelength over all edges.
@@ -76,7 +80,7 @@ impl SteinerTree {
         }
         // Union-find connectivity check.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];
@@ -95,7 +99,9 @@ impl SteinerTree {
 
     /// Iterates over edges as point pairs.
     pub fn segments(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
-        self.edges.iter().map(|&(a, b)| (self.points[a as usize], self.points[b as usize]))
+        self.edges
+            .iter()
+            .map(|&(a, b)| (self.points[a as usize], self.points[b as usize]))
     }
 }
 
@@ -154,7 +160,11 @@ pub fn mst(terminals: &[Point]) -> SteinerTree {
             }
         }
     }
-    SteinerTree { num_terminals: n, points, edges }
+    SteinerTree {
+        num_terminals: n,
+        points,
+        edges,
+    }
 }
 
 /// Builds a rectilinear Steiner tree over `terminals` (MST + iterated
@@ -191,16 +201,20 @@ pub fn rsmt(terminals: &[Point]) -> SteinerTree {
         }
         let mut best_gain = 0;
         let mut best: Option<(usize, usize, usize, Point)> = None; // (v, e1, e2, steiner)
-        for v in 0..n {
-            if adj[v].len() < 2 {
+        for (v, adj_v) in adj.iter().enumerate() {
+            if adj_v.len() < 2 {
                 continue;
             }
-            for i in 0..adj[v].len() {
-                for j in (i + 1)..adj[v].len() {
-                    let (e1, e2) = (adj[v][i], adj[v][j]);
+            for i in 0..adj_v.len() {
+                for j in (i + 1)..adj_v.len() {
+                    let (e1, e2) = (adj_v[i], adj_v[j]);
                     let other = |e: usize| {
                         let (a, b) = tree.edges[e];
-                        if a as usize == v { b as usize } else { a as usize }
+                        if a as usize == v {
+                            b as usize
+                        } else {
+                            a as usize
+                        }
                     };
                     let (a, b) = (other(e1), other(e2));
                     let pv = tree.points[v];
@@ -226,7 +240,11 @@ pub fn rsmt(terminals: &[Point]) -> SteinerTree {
                 tree.points.push(s);
                 let other = |e: usize| {
                     let (a, b) = tree.edges[e];
-                    if a as usize == v { b } else { a }
+                    if a as usize == v {
+                        b
+                    } else {
+                        a
+                    }
                 };
                 let (a, b) = (other(e1), other(e2));
                 tree.edges[e1] = (si, a);
@@ -306,8 +324,7 @@ mod tests {
     }
 
     fn hpwl(points: &[Point]) -> Dbu {
-        bounding_box(points.iter().copied())
-            .map_or(0, |bb| (bb.width() - 1) + (bb.height() - 1))
+        bounding_box(points.iter().copied()).map_or(0, |bb| (bb.width() - 1) + (bb.height() - 1))
     }
 
     proptest! {

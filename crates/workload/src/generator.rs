@@ -32,7 +32,13 @@ fn library(b: &mut DesignBuilder) -> (Vec<MacroId>, Vec<i64>) {
         b.add_macro(mk(
             "AOI22_X1",
             3,
-            &[("A", 1, 3), ("B", 2, 5), ("C", 4, 3), ("D", 5, 5), ("Y", 7, 4)],
+            &[
+                ("A", 1, 3),
+                ("B", 2, 5),
+                ("C", 4, 3),
+                ("D", 5, 5),
+                ("Y", 7, 4),
+            ],
         )),
         b.add_macro(mk("DFF_X1", 4, &[("D", 1, 3), ("CK", 2, 6), ("Q", 7, 4)])),
     ];
@@ -139,13 +145,18 @@ pub fn generate(profile: &Profile) -> Design {
             .collect();
         cuts.sort_by_key(|c| c.lo);
         let mut cursor = row_span.lo;
-        for cut in cuts.iter().chain(std::iter::once(&Interval::new(
-            row_span.hi,
-            row_span.hi,
-        ))) {
+        for cut in cuts
+            .iter()
+            .chain(std::iter::once(&Interval::new(row_span.hi, row_span.hi)))
+        {
             let free_end = cut.lo.min(row_span.hi).max(cursor);
             if free_end > cursor {
-                segments.push(Segment { row: r, start: cursor, len: free_end - cursor, used: 0 });
+                segments.push(Segment {
+                    row: r,
+                    start: cursor,
+                    len: free_end - cursor,
+                    used: 0,
+                });
             }
             cursor = cursor.max(cut.hi);
         }
@@ -169,7 +180,11 @@ pub fn generate(profile: &Profile) -> Design {
                 break;
             }
         }
-        assert!(placed, "floorplan too small: utilization {} unreachable", profile.utilization);
+        assert!(
+            placed,
+            "floorplan too small: utilization {} unreachable",
+            profile.utilization
+        );
     }
 
     // --- place with randomized whitespace --------------------------------------
@@ -193,8 +208,10 @@ pub fn generate(profile: &Profile) -> Design {
             x_sites += macro_sites[choices[cell_idx]];
         }
     }
-    let cell_ids: Vec<CellId> =
-        cell_ids.into_iter().map(|c| c.expect("every cell placed")).collect();
+    let cell_ids: Vec<CellId> = cell_ids
+        .into_iter()
+        .map(|c| c.expect("every cell placed"))
+        .collect();
 
     for blk in &blockages {
         b.add_blockage(*blk);
@@ -221,26 +238,22 @@ pub fn generate(profile: &Profile) -> Design {
         buckets[(p.y / tile) as usize * tiles_x + (p.x / tile) as usize].push(i);
     }
 
-    let nearby = |rng: &mut StdRng, center: Point, radius: i64, exclude: &[usize]| -> Option<usize> {
-        let bx0 = ((center.x - radius).max(0) / tile) as usize;
-        let bx1 = (((center.x + radius).max(0) / tile) as usize).min(tiles_x - 1);
-        let by0 = ((center.y - radius).max(0) / tile) as usize;
-        let by1 = (((center.y + radius).max(0) / tile) as usize).min(tiles_y - 1);
-        let mut pool: Vec<usize> = Vec::new();
-        for by in by0..=by1 {
-            for bx in bx0..=bx1 {
-                pool.extend(
-                    buckets[by * tiles_x + bx]
-                        .iter()
-                        .copied()
-                        .filter(|i| {
-                            origin_of[*i].manhattan(center) <= 2 * radius && !exclude.contains(i)
-                        }),
-                );
+    let nearby =
+        |rng: &mut StdRng, center: Point, radius: i64, exclude: &[usize]| -> Option<usize> {
+            let bx0 = ((center.x - radius).max(0) / tile) as usize;
+            let bx1 = (((center.x + radius).max(0) / tile) as usize).min(tiles_x - 1);
+            let by0 = ((center.y - radius).max(0) / tile) as usize;
+            let by1 = (((center.y + radius).max(0) / tile) as usize).min(tiles_y - 1);
+            let mut pool: Vec<usize> = Vec::new();
+            for by in by0..=by1 {
+                for bx in bx0..=bx1 {
+                    pool.extend(buckets[by * tiles_x + bx].iter().copied().filter(|i| {
+                        origin_of[*i].manhattan(center) <= 2 * radius && !exclude.contains(i)
+                    }));
+                }
             }
-        }
-        (!pool.is_empty()).then(|| pool[rng.gen_range(0..pool.len())])
-    };
+            (!pool.is_empty()).then(|| pool[rng.gen_range(0..pool.len())])
+        };
 
     let n_cells = cell_ids.len();
     for net_idx in 0..profile.nets {
@@ -336,7 +349,12 @@ mod tests {
             let p = small(i);
             let d = p.generate();
             let v = check_legality(&d);
-            assert!(v.is_empty(), "{}: violations {:?}", p.name, &v[..v.len().min(5)]);
+            assert!(
+                v.is_empty(),
+                "{}: violations {:?}",
+                p.name,
+                &v[..v.len().min(5)]
+            );
         }
     }
 

@@ -20,8 +20,10 @@ use rand::seq::SliceRandom;
 pub fn refine_placement(design: &mut Design, passes: usize, rng: &mut StdRng) {
     let mut rows = RowMap::new(design);
     for _ in 0..passes {
-        let mut order: Vec<CellId> =
-            design.cell_ids().filter(|&c| !design.cell(c).fixed).collect();
+        let mut order: Vec<CellId> = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .collect();
         order.shuffle(rng);
         for cell in order {
             if let Some((pos, orient)) = best_slot(design, &rows, cell) {
@@ -62,7 +64,11 @@ fn net_hpwl_with(design: &Design, net: NetId, moved: CellId, pos: Point) -> Dbu 
 
 /// The best free slot near the cell's median, if it strictly improves the
 /// cell's nets' HPWL.
-fn best_slot(design: &Design, rows: &RowMap, cell: CellId) -> Option<(Point, crp_geom::Orientation)> {
+fn best_slot(
+    design: &Design,
+    rows: &RowMap,
+    cell: CellId,
+) -> Option<(Point, crp_geom::Orientation)> {
     let median = median_position(design, cell);
     let current = design.cell(cell).pos;
     let m = design.macro_of(cell);
@@ -105,8 +111,12 @@ fn best_slot(design: &Design, rows: &RowMap, cell: CellId) -> Option<(Point, crp
 
 fn align_up(x: Dbu, row_x: Dbu, site_w: Dbu) -> Dbu {
     let rel = x - row_x;
-    let aligned =
-        rel.div_euclid(site_w) * site_w + if rel.rem_euclid(site_w) == 0 { 0 } else { site_w };
+    let aligned = rel.div_euclid(site_w) * site_w
+        + if rel.rem_euclid(site_w) == 0 {
+            0
+        } else {
+            site_w
+        };
     row_x + aligned
 }
 

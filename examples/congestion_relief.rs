@@ -50,7 +50,10 @@ fn main() {
     let mut routing = router.route_all(&design, &mut grid);
 
     let before = grid.congestion();
-    println!("\nafter global routing: overflow {:.1} on {} edges", before.total_overflow, before.overflowed_edges);
+    println!(
+        "\nafter global routing: overflow {:.1} on {} edges",
+        before.total_overflow, before.overflowed_edges
+    );
     println!("{}", heat_map(&grid));
 
     let dr = DetailedRouter::new(DrConfig::default());
@@ -68,7 +71,10 @@ fn main() {
     }
 
     let after_snap = grid.congestion();
-    println!("\nafter CR&P: overflow {:.1} on {} edges", after_snap.total_overflow, after_snap.overflowed_edges);
+    println!(
+        "\nafter CR&P: overflow {:.1} on {} edges",
+        after_snap.total_overflow, after_snap.overflowed_edges
+    );
     println!("{}", heat_map(&grid));
 
     let after = evaluate(&dr.run(&design, &grid, &routing));

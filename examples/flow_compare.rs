@@ -29,7 +29,11 @@ fn main() {
         "flow", "wirelength", "vias", "DRVs", "score", "time"
     );
     for r in [&baseline, &median, &k1, &k10] {
-        let flag = if r.outcome == FlowOutcome::Failed { " (FAILED)" } else { "" };
+        let flag = if r.outcome == FlowOutcome::Failed {
+            " (FAILED)"
+        } else {
+            ""
+        };
         println!(
             "{:<12} {:>14} {:>8} {:>6} {:>9.1} {:>7.2}s{flag}",
             r.flow,
@@ -44,7 +48,10 @@ fn main() {
     let pct = Score::improvement_pct;
     println!(
         "\nCR&P k=10 vs baseline: wirelength {:+.2}%, vias {:+.2}%",
-        pct(baseline.score.wirelength_dbu as f64, k10.score.wirelength_dbu as f64),
+        pct(
+            baseline.score.wirelength_dbu as f64,
+            k10.score.wirelength_dbu as f64
+        ),
         pct(baseline.score.vias as f64, k10.score.vias as f64),
     );
 }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored = parse_def(&fs::read_to_string(dir.join("design.def"))?, &tech)?;
     assert_eq!(restored.num_cells(), design.num_cells());
     assert_eq!(restored.num_nets(), design.num_nets());
-    assert_eq!(crp_netlist::total_hpwl(&restored), crp_netlist::total_hpwl(&design));
+    assert_eq!(
+        crp_netlist::total_hpwl(&restored),
+        crp_netlist::total_hpwl(&design)
+    );
 
     let mut grid2 = RouteGrid::new(&restored, GridConfig::default());
     let mut router2 = GlobalRouter::new(RouterConfig::default());

@@ -45,7 +45,11 @@ fn main() {
     }
     let mut design = b.build();
     assert!(check_legality(&design).is_empty());
-    println!("design: {} cells, {} nets", design.num_cells(), design.num_nets());
+    println!(
+        "design: {} cells, {} nets",
+        design.num_cells(),
+        design.num_nets()
+    );
 
     // 2. Global-route on the GCell grid.
     let mut grid = RouteGrid::new(&design, GridConfig::default());
@@ -70,7 +74,10 @@ fn main() {
             report.cost_after
         );
     }
-    assert!(check_legality(&design).is_empty(), "CR&P must keep the placement legal");
+    assert!(
+        check_legality(&design).is_empty(),
+        "CR&P must keep the placement legal"
+    );
 
     // 4. Detailed-route and score.
     let result = DetailedRouter::new(DrConfig::default()).run(&design, &grid, &routing);

@@ -45,13 +45,14 @@ fn crp_preserves_all_formulation_invariants() {
         let violations = check_legality(&design);
         assert!(violations.is_empty(), "iteration {i}: {violations:?}");
         // Eq. 2: every net still has a route.
-        assert!(routing.is_fully_connected(&design, &grid), "iteration {i}: open nets");
+        assert!(
+            routing.is_fully_connected(&design, &grid),
+            "iteration {i}: open nets"
+        );
     }
     // Exact resource bookkeeping: grid state equals the sum of routes.
     assert!((grid.total_wire_usage() - routing.total_wirelength() as f64).abs() < 1e-9);
-    assert!(
-        (grid.total_via_endpoints() - 2.0 * routing.total_vias() as f64).abs() < 1e-9
-    );
+    assert!((grid.total_via_endpoints() - 2.0 * routing.total_vias() as f64).abs() < 1e-9);
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn roundtrip_preserves_routing_for_every_profile() {
         assert_eq!(restored.num_cells(), design.num_cells());
         assert_eq!(restored.num_nets(), design.num_nets());
         assert_eq!(restored.num_pins(), design.num_pins());
-        assert_eq!(crp_netlist::total_hpwl(&restored), crp_netlist::total_hpwl(&design));
+        assert_eq!(
+            crp_netlist::total_hpwl(&restored),
+            crp_netlist::total_hpwl(&design)
+        );
 
         let route = |d: &crp_netlist::Design| {
             let mut grid = RouteGrid::new(d, GridConfig::default());
@@ -67,9 +70,9 @@ fn guides_cover_every_pin_of_every_net() {
                 continue;
             }
             assert!(
-                rects.iter().any(|&(x0, y0, x1, y1)| {
-                    p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1
-                }),
+                rects
+                    .iter()
+                    .any(|&(x0, y0, x1, y1)| { p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1 }),
                 "pin of {name} at {p} not covered"
             );
         }
@@ -93,6 +96,11 @@ fn def_written_after_crp_is_still_parseable_and_legal() {
     let restored = parse_def(&write_def(&design), &tech).expect("def");
     assert!(crp_netlist::check_legality(&restored).is_empty());
     for (id, cell) in design.cells() {
-        assert_eq!(restored.cell(id).pos, cell.pos, "{} moved in transit", cell.name);
+        assert_eq!(
+            restored.cell(id).pos,
+            cell.pos,
+            "{} moved in transit",
+            cell.name
+        );
     }
 }

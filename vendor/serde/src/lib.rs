@@ -1,0 +1,16 @@
+//! In-tree no-op stand-in for `serde`.
+//!
+//! The container has no network access, so the real crates.io `serde`
+//! cannot be fetched. The workspace only uses serde as a set of derive
+//! markers (`#[derive(Serialize, Deserialize)]`) — nothing is ever
+//! serialized at runtime — so this stub provides the two derive macros
+//! (which expand to nothing) plus empty marker traits for code that
+//! names `serde::Serialize` in bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; implemented for nothing and required by nothing.
+pub trait Serialize {}
+
+/// Marker trait; implemented for nothing and required by nothing.
+pub trait Deserialize<'de>: Sized {}
