@@ -232,6 +232,43 @@ fn bench_crp_iteration(c: &mut Criterion) {
     });
 }
 
+fn bench_check_overhead(c: &mut Criterion) {
+    use crp_core::{CheckLevel, Crp};
+    // The invariant oracle's overhead gate: `Cheap` must stay within a
+    // few percent of `Off` on the congested profile-6 flow iteration.
+    let design0 = ispd18_profiles()[6].scaled(400.0).generate();
+    for (name, level) in [
+        ("crp/profile6_iteration_check_off", CheckLevel::Off),
+        ("crp/profile6_iteration_check_cheap", CheckLevel::Cheap),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let design = design0.clone();
+                    let mut grid = RouteGrid::new(&design, GridConfig::default());
+                    let mut router = GlobalRouter::new(RouterConfig::default());
+                    let routing = router.route_all(&design, &mut grid);
+                    (design, grid, router, routing)
+                },
+                |(mut design, mut grid, mut router, mut routing)| {
+                    let mut crp = Crp::new(CrpConfig {
+                        check_level: level,
+                        ..CrpConfig::default()
+                    });
+                    black_box(crp.run_iteration(
+                        0,
+                        &mut design,
+                        &mut grid,
+                        &mut router,
+                        &mut routing,
+                    ))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     // Short measurement windows: the kernels are microsecond-scale and the
@@ -249,6 +286,7 @@ criterion_group! {
         bench_ilp,
         bench_global_route,
         bench_estimate_phase,
-        bench_crp_iteration
+        bench_crp_iteration,
+        bench_check_overhead
 }
 criterion_main!(benches);

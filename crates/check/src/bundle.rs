@@ -1,0 +1,109 @@
+//! Violation escalation: snapshot the flow state and panic.
+
+use crate::CheckViolation;
+use crp_grid::RouteGrid;
+use crp_lefdef::{write_def, write_guides, write_lef};
+use crp_netlist::Design;
+use crp_router::Routing;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes a diagnostic bundle (LEF + DEF + route guides) for the failing
+/// state into a fresh directory under the system temp dir and panics
+/// with a message naming the `phase`, every violation, and the bundle
+/// path. Never returns.
+///
+/// The bundle is exactly what the flow's interchange tools consume, so a
+/// failure can be replayed: `parse_lef` + `parse_def` restore the
+/// design as the oracle saw it.
+///
+/// # Panics
+///
+/// Always — that is the point. Snapshot I/O errors are reported inside
+/// the panic message instead of masking the violation.
+pub fn fail_with_bundle(
+    phase: &str,
+    violations: &[CheckViolation],
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+) -> ! {
+    static BUNDLE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "crp-check-{}-{}-{seq}",
+        design.name,
+        std::process::id()
+    ));
+
+    let snapshot = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("snapshot.lef"), write_lef(design)))
+        .and_then(|()| std::fs::write(dir.join("snapshot.def"), write_def(design)))
+        .and_then(|()| {
+            std::fs::write(
+                dir.join("snapshot.guide"),
+                write_guides(design, grid, routing),
+            )
+        })
+        .map(|()| format!("diagnostic bundle: {}", dir.display()))
+        .unwrap_or_else(|e| format!("diagnostic bundle could not be written: {e}"));
+
+    let mut msg = format!(
+        "crp-check: {} invariant violation(s) after phase `{phase}`:\n",
+        violations.len()
+    );
+    for v in violations {
+        let _ = writeln!(msg, "  - {v}");
+    }
+    msg.push_str(&snapshot);
+    panic!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_grid::GridConfig;
+    use crp_netlist::{CellId, DesignBuilder, MacroCell};
+    use crp_router::{GlobalRouter, RouterConfig};
+
+    #[test]
+    fn panics_with_phase_violations_and_bundle_path() {
+        let mut b = DesignBuilder::new("bundle", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 0));
+        b.add_rows(2, 10, Point::new(0, 0));
+        b.add_cell("u0", m, Point::new(0, 0));
+        let d = b.build();
+        let mut grid = RouteGrid::new(&d, GridConfig::default());
+        let routing = GlobalRouter::new(RouterConfig::default()).route_all(&d, &mut grid);
+
+        let violations = vec![CheckViolation::FixedCellMoved { cell: CellId(0) }];
+        let err = std::panic::catch_unwind(|| {
+            fail_with_bundle("update", &violations, &d, &grid, &routing);
+        })
+        .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a String");
+        assert!(msg.contains("invariant violation"), "{msg}");
+        assert!(msg.contains("`update`"), "{msg}");
+        assert!(msg.contains("fixed cell c0 moved"), "{msg}");
+        assert!(msg.contains("crp-check-bundle"), "{msg}");
+
+        // The bundle must be replayable through the interchange parsers.
+        let dir = msg
+            .lines()
+            .last()
+            .and_then(|l| l.strip_prefix("diagnostic bundle: "))
+            .expect("bundle path line");
+        let lef = std::fs::read_to_string(format!("{dir}/snapshot.lef")).unwrap();
+        let def = std::fs::read_to_string(format!("{dir}/snapshot.def")).unwrap();
+        let tech = crp_lefdef::parse_lef(&lef).unwrap();
+        let restored = crp_lefdef::parse_def(&def, &tech).unwrap();
+        assert_eq!(restored.num_cells(), d.num_cells());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,114 @@
+//! Flow-wide invariant oracle for the CR&P toolkit.
+//!
+//! CR&P's correctness rests on invariants the flow otherwise only
+//! *assumes*: the Eq. 11 legalizer must keep placements legal, the
+//! router's congestion bookkeeping must stay consistent under rip-up &
+//! reroute, and the Eq. 10 price cache must be a pure memo. This crate
+//! makes those assumptions checkable. The engine
+//! (`crp-core`) wires the checks in behind `CrpConfig::check_level`:
+//!
+//! - [`CheckLevel::Off`] — no checking, zero overhead (the default),
+//! - [`CheckLevel::Cheap`] — O(cells + touched nets) spot checks after
+//!   each iteration,
+//! - [`CheckLevel::Full`] — from-scratch recounts of every per-gcell
+//!   demand counter, full-netlist connectivity, and full price
+//!   recomputation.
+//!
+//! Every check returns the list of [`CheckViolation`]s it found; the
+//! caller escalates via [`fail_with_bundle`], which snapshots the design
+//! (DEF) and routing (guides) to a temp directory and panics with a
+//! diagnostic that names the phase, the offending ids, and the snapshot
+//! path.
+//!
+//! # Examples
+//!
+//! ```
+//! use crp_check::{check_placement, CheckLevel};
+//! use crp_geom::Point;
+//! use crp_netlist::{DesignBuilder, MacroCell};
+//!
+//! let mut b = DesignBuilder::new("demo", 1000);
+//! let inv = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 0));
+//! b.add_rows(2, 10, Point::new(0, 0));
+//! b.add_cell("u0", inv, Point::new(0, 0));
+//! let design = b.build();
+//! assert!(check_placement(&design).is_empty());
+//! assert_eq!(CheckLevel::default(), CheckLevel::Off);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bundle;
+mod placement;
+mod routing;
+mod violation;
+
+pub use bundle::fail_with_bundle;
+pub use placement::{
+    check_claims, check_critical_set, check_placement, check_untouched, fixed_cell_rects,
+    PlacementSnapshot,
+};
+pub use routing::{
+    check_connectivity, check_demand_exact, check_demand_totals, check_epoch, check_touch_stamps,
+};
+pub use violation::CheckViolation;
+
+use serde::{Deserialize, Serialize};
+
+/// How much invariant checking the flow performs after each phase.
+///
+/// Levels are ordered: `Off < Cheap < Full`, and every check that runs
+/// at `Cheap` also runs at `Full`.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum CheckLevel {
+    /// No checking. The flow pays a single enum comparison per phase.
+    #[default]
+    Off,
+    /// Spot checks bounded by the iteration's own work: placement
+    /// legality, untouched-cell stability, connectivity of rerouted
+    /// nets, aggregate demand totals, epoch monotonicity, and a sampled
+    /// price-consistency audit.
+    Cheap,
+    /// Everything in `Cheap` plus from-scratch recounts: per-edge wire
+    /// and via demand, all-net connectivity, per-gcell touch stamps,
+    /// candidate claim geometry, and full price recomputation.
+    Full,
+}
+
+impl CheckLevel {
+    /// Whether any checking is enabled.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        self != CheckLevel::Off
+    }
+
+    /// Whether the expensive from-scratch recounts are enabled.
+    #[must_use]
+    pub fn full(self) -> bool {
+        self == CheckLevel::Full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(CheckLevel::Off < CheckLevel::Cheap);
+        assert!(CheckLevel::Cheap < CheckLevel::Full);
+    }
+
+    #[test]
+    fn default_is_off_and_disabled() {
+        let l = CheckLevel::default();
+        assert_eq!(l, CheckLevel::Off);
+        assert!(!l.enabled());
+        assert!(!l.full());
+        assert!(CheckLevel::Cheap.enabled() && !CheckLevel::Cheap.full());
+        assert!(CheckLevel::Full.enabled() && CheckLevel::Full.full());
+    }
+}

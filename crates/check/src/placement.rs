@@ -1,0 +1,239 @@
+//! Placement-side invariants: static legality, move-set discipline, and
+//! candidate claim geometry.
+
+use crate::CheckViolation;
+use crp_geom::{Orientation, Point, Rect};
+use crp_netlist::{check_legality, CellId, Design};
+use std::collections::HashSet;
+
+/// A point-in-time record of every cell's placement state, captured
+/// before a phase so the oracle can prove what the phase did *not* do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementSnapshot {
+    cells: Vec<(Point, Orientation, bool)>,
+}
+
+impl PlacementSnapshot {
+    /// Records the position, orientation, and fixed flag of every cell.
+    #[must_use]
+    pub fn capture(design: &Design) -> PlacementSnapshot {
+        PlacementSnapshot {
+            cells: design
+                .cells()
+                .map(|(_, c)| (c.pos, c.orient, c.fixed))
+                .collect(),
+        }
+    }
+}
+
+/// Checks static placement legality (Eq. 5–8): inside die, no overlaps,
+/// site/row alignment, row orientation, no blockage conflicts.
+#[must_use]
+pub fn check_placement(design: &Design) -> Vec<CheckViolation> {
+    check_legality(design)
+        .into_iter()
+        .map(CheckViolation::Placement)
+        .collect()
+}
+
+/// Checks that only sanctioned cells changed since `snapshot`: fixed
+/// cells must never move, and any other moved cell must be in `allowed`
+/// (the cells the update step actually relocated).
+#[must_use]
+pub fn check_untouched(
+    design: &Design,
+    snapshot: &PlacementSnapshot,
+    allowed: &HashSet<CellId>,
+) -> Vec<CheckViolation> {
+    let mut out = Vec::new();
+    for (id, cell) in design.cells() {
+        let Some(&(pos, orient, fixed)) = snapshot.cells.get(id.index()) else {
+            continue;
+        };
+        if cell.pos == pos && cell.orient == orient {
+            continue;
+        }
+        if fixed || cell.fixed {
+            out.push(CheckViolation::FixedCellMoved { cell: id });
+        } else if !allowed.contains(&id) {
+            out.push(CheckViolation::UntouchedCellMoved { cell: id });
+        }
+    }
+    out
+}
+
+/// Checks the labeling output: a critical cell must be movable, or the
+/// update step would panic trying to relocate it.
+#[must_use]
+pub fn check_critical_set(design: &Design, critical: &[CellId]) -> Vec<CheckViolation> {
+    critical
+        .iter()
+        .filter(|&&c| design.cell(c).fixed)
+        .map(|&c| CheckViolation::CriticalCellFixed { cell: c })
+        .collect()
+}
+
+/// The footprints of every fixed cell, for [`check_claims`].
+#[must_use]
+pub fn fixed_cell_rects(design: &Design) -> Vec<(CellId, Rect)> {
+    design
+        .cells()
+        .filter(|(_, c)| c.fixed)
+        .map(|(id, _)| (id, design.cell_rect(id)))
+        .collect()
+}
+
+/// Checks the claim geometry of one candidate: every footprint the
+/// candidate would occupy must be inside the die, on the site grid of a
+/// real row, within that row's extent, off every blockage, and disjoint
+/// from both its sibling claims and every fixed cell (`fixed` from
+/// [`fixed_cell_rects`]).
+#[must_use]
+pub fn check_claims(
+    design: &Design,
+    claims: &[(CellId, Rect)],
+    fixed: &[(CellId, Rect)],
+) -> Vec<CheckViolation> {
+    let mut out = Vec::new();
+    for (i, &(cell, rect)) in claims.iter().enumerate() {
+        if !design.die.contains_rect(&rect) {
+            out.push(CheckViolation::ClaimOutsideDie { cell });
+        }
+        if design.blockages.iter().any(|b| b.intersects(&rect)) {
+            out.push(CheckViolation::ClaimOnBlockage { cell });
+        }
+        match design.row_with_origin_y(rect.lo.y) {
+            None => out.push(CheckViolation::ClaimOffRow { cell }),
+            Some(row_id) => {
+                let row = &design.rows[row_id.index()];
+                let row_rect = row.rect(design.site);
+                if rect.lo.x < row_rect.lo.x || rect.hi.x > row_rect.hi.x {
+                    out.push(CheckViolation::ClaimOffRow { cell });
+                } else if (rect.lo.x - row.origin.x) % design.site.width != 0 {
+                    out.push(CheckViolation::ClaimOffSite { cell });
+                }
+            }
+        }
+        for &(other, other_rect) in &claims[i + 1..] {
+            if rect.intersects(&other_rect) {
+                out.push(CheckViolation::ClaimOverlap { a: cell, b: other });
+            }
+        }
+        for &(fixed_id, fixed_rect) in fixed {
+            if fixed_id != cell && rect.intersects(&fixed_rect) {
+                out.push(CheckViolation::ClaimOverlapsFixed {
+                    cell,
+                    fixed: fixed_id,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netlist::{DesignBuilder, MacroCell};
+
+    /// Two rows of ten 1-site cells' worth of space, two cells placed.
+    fn design() -> (Design, CellId, CellId) {
+        let mut b = DesignBuilder::new("t", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 0));
+        b.add_rows(2, 10, Point::new(0, 0));
+        let u0 = b.add_cell("u0", m, Point::new(0, 0));
+        let u1 = b.add_cell("u1", m, Point::new(600, 0));
+        (b.build(), u0, u1)
+    }
+
+    #[test]
+    fn legal_design_has_no_violations() {
+        let (d, _, _) = design();
+        assert!(check_placement(&d).is_empty());
+        let snap = PlacementSnapshot::capture(&d);
+        assert!(check_untouched(&d, &snap, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_reported() {
+        let (mut d, u0, u1) = design();
+        let p1 = d.cell(u1).pos;
+        d.move_cell(u0, p1, d.cell(u1).orient);
+        assert!(check_placement(&d)
+            .iter()
+            .any(|v| matches!(v, CheckViolation::Placement(_))));
+    }
+
+    #[test]
+    fn unsanctioned_move_is_reported_and_sanctioned_move_is_not() {
+        let (mut d, u0, _) = design();
+        d.move_cell(u0, Point::new(1000, 0), d.cell(u0).orient);
+        let snap = PlacementSnapshot::capture(&d);
+        d.move_cell(u0, Point::new(1200, 0), d.cell(u0).orient);
+        let v = check_untouched(&d, &snap, &HashSet::new());
+        assert_eq!(
+            v,
+            vec![CheckViolation::UntouchedCellMoved { cell: u0 }],
+            "{v:?}"
+        );
+        let allowed: HashSet<CellId> = [u0].into_iter().collect();
+        assert!(check_untouched(&d, &snap, &allowed).is_empty());
+    }
+
+    #[test]
+    fn fixed_cell_move_is_reported_even_when_allowed() {
+        let (mut d, u0, _) = design();
+        d.set_fixed(u0, true);
+        let snap = PlacementSnapshot::capture(&d);
+        d.set_fixed(u0, false);
+        d.move_cell(u0, Point::new(1400, 0), d.cell(u0).orient);
+        d.set_fixed(u0, true);
+        let allowed: HashSet<CellId> = [u0].into_iter().collect();
+        let v = check_untouched(&d, &snap, &allowed);
+        assert_eq!(v, vec![CheckViolation::FixedCellMoved { cell: u0 }]);
+    }
+
+    #[test]
+    fn fixed_critical_cell_is_reported() {
+        let (mut d, u0, u1) = design();
+        d.set_fixed(u0, true);
+        let v = check_critical_set(&d, &[u0, u1]);
+        assert_eq!(v, vec![CheckViolation::CriticalCellFixed { cell: u0 }]);
+    }
+
+    #[test]
+    fn claim_geometry_catches_each_illegal_shape() {
+        let (d, u0, u1) = design();
+        let ok = (u0, Rect::with_size(Point::new(400, 0), 200, 2000));
+        assert!(check_claims(&d, &[ok], &[]).is_empty());
+
+        let off_die = (u0, Rect::with_size(Point::new(-200, 0), 200, 2000));
+        assert!(check_claims(&d, &[off_die], &[])
+            .iter()
+            .any(|v| matches!(v, CheckViolation::ClaimOutsideDie { .. })));
+
+        let off_site = (u0, Rect::with_size(Point::new(450, 0), 200, 2000));
+        assert!(check_claims(&d, &[off_site], &[])
+            .iter()
+            .any(|v| matches!(v, CheckViolation::ClaimOffSite { .. })));
+
+        let off_row = (u0, Rect::with_size(Point::new(400, 500), 200, 2000));
+        assert!(check_claims(&d, &[off_row], &[])
+            .iter()
+            .any(|v| matches!(v, CheckViolation::ClaimOffRow { .. })));
+
+        let siblings = [
+            (u0, Rect::with_size(Point::new(400, 0), 200, 2000)),
+            (u1, Rect::with_size(Point::new(400, 0), 200, 2000)),
+        ];
+        assert!(check_claims(&d, &siblings, &[])
+            .iter()
+            .any(|v| matches!(v, CheckViolation::ClaimOverlap { .. })));
+
+        let fixed = [(u1, Rect::with_size(Point::new(400, 0), 200, 2000))];
+        assert!(check_claims(&d, &[ok], &fixed)
+            .iter()
+            .any(|v| matches!(v, CheckViolation::ClaimOverlapsFixed { .. })));
+    }
+}

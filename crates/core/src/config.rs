@@ -1,5 +1,6 @@
 //! CR&P configuration.
 
+use crp_check::CheckLevel;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the CR&P flow, defaulting to the paper's values.
@@ -44,6 +45,12 @@ pub struct CrpConfig {
     /// ([`PriceCache`](crate::PriceCache)). Pure memoization: results are
     /// bit-identical either way, only the ECC wall time changes.
     pub price_cache: bool,
+    /// How much invariant checking [`Crp`](crate::Crp) performs after
+    /// each phase (placement legality, routing consistency, price-cache
+    /// purity). `Off` costs nothing; `Cheap` spot-checks in time bounded
+    /// by the iteration's own work; `Full` recounts everything from
+    /// scratch. Violations panic with a DEF/guide diagnostic bundle.
+    pub check_level: CheckLevel,
 }
 
 impl Default for CrpConfig {
@@ -62,6 +69,7 @@ impl Default for CrpConfig {
             prioritize: true,
             move_margin: 1.0,
             price_cache: true,
+            check_level: CheckLevel::Off,
         }
     }
 }
@@ -92,6 +100,7 @@ mod tests {
         assert_eq!(c.n_row, 5);
         assert_eq!(c.max_window_cells, 3);
         assert!(c.congestion_aware && c.prioritize);
+        assert_eq!(c.check_level, CheckLevel::Off, "checking must be opt-in");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::candidate::Candidate;
 use crate::config::CrpConfig;
 use crate::parallel::run_indexed;
 use crate::price_cache::{PriceCache, PriceRegion};
+use crp_check::CheckViolation;
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
 use crp_router::{pattern_route_tree_discounted, NetRoute, PinNode, Routing};
@@ -341,6 +342,60 @@ pub fn estimate_candidates_cached(
     }
 }
 
+/// Audits cost consistency — the Eq. 10 price cache as a pure memo: the
+/// `routing_cost` the estimate phase recorded on each candidate (cached
+/// or not) must equal a from-scratch, cache-free recomputation **bit for
+/// bit**. Any divergence means a stale cache entry survived epoch
+/// invalidation.
+///
+/// `sample` bounds how many **candidates** are audited in total, taken
+/// as a prefix across the lists in order (`None` = all); the cheap check
+/// tier audits a fixed budget, the full tier everything. Re-pricing a
+/// candidate costs a discounted pattern route per incident net, so the
+/// budget — not the list count — is what keeps the cheap tier cheap.
+#[must_use]
+pub fn check_price_consistency(
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+    per_cell: &[Vec<Candidate>],
+    config: &CrpConfig,
+    sample: Option<usize>,
+) -> Vec<CheckViolation> {
+    let mut budget = sample.unwrap_or(usize::MAX);
+    let mut scratch = PriceScratch::new();
+    let mut out = Vec::new();
+    'lists: for cands in per_cell {
+        for (i, cand) in cands.iter().enumerate() {
+            if budget == 0 {
+                break 'lists;
+            }
+            budget -= 1;
+            let mut fresh = price_cell_nets_with(
+                design,
+                grid,
+                routing,
+                cand,
+                config.congestion_aware,
+                None,
+                &mut scratch,
+            );
+            if !cand.is_stay(design) {
+                fresh += config.move_margin;
+            }
+            if fresh != cand.routing_cost {
+                out.push(CheckViolation::PriceMismatch {
+                    cell: cand.cell,
+                    candidate: i,
+                    cached: cand.routing_cost,
+                    fresh,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// The pre-work-stealing baseline: fixed `chunks_mut` partitioning with
 /// one fresh allocation set per candidate and no price cache. Kept only
 /// as the comparison point for the `estimate_phase` benchmark.
@@ -501,6 +556,35 @@ mod tests {
             }
         }
         assert!(cache.hits() > 0, "second pass must hit");
+    }
+
+    #[test]
+    fn price_consistency_audit_passes_clean_and_catches_poisoned_cache() {
+        let (d, grid, routing, cells) = flow();
+        let cfg = CrpConfig::default();
+        let mut lists = vec![
+            vec![Candidate::stay(&d, cells[0])],
+            vec![Candidate::stay(&d, cells[1])],
+        ];
+        let cache = PriceCache::new();
+        estimate_candidates_cached(&d, &grid, &routing, &mut lists, &cfg, Some(&cache));
+        assert!(check_price_consistency(&d, &grid, &routing, &lists, &cfg, None).is_empty());
+
+        // Poison the stay entry of the shared net and re-estimate: the
+        // bogus price comes back as a cache hit, and the audit's fresh
+        // recomputation must expose it.
+        let mut region = PriceRegion::empty();
+        region.cover(0, 0);
+        cache.store(&grid, NetId(0), true, &[], region, 1e9);
+        estimate_candidates_cached(&d, &grid, &routing, &mut lists, &cfg, Some(&cache));
+        let v = check_price_consistency(&d, &grid, &routing, &lists, &cfg, None);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, CheckViolation::PriceMismatch { .. })),
+            "poisoned cache not detected: {v:?}"
+        );
+        // The sampled form with a zero budget must stay silent.
+        assert!(check_price_consistency(&d, &grid, &routing, &lists, &cfg, Some(0)).is_empty());
     }
 
     #[test]

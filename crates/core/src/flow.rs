@@ -2,13 +2,14 @@
 
 use crate::candidate::Candidate;
 use crate::config::CrpConfig;
-use crate::estimate::estimate_candidates_cached;
+use crate::estimate::{check_price_consistency, estimate_candidates_cached};
 use crate::label::label_critical_cells;
 use crate::legalizer::Legalizer;
 use crate::parallel::run_indexed;
 use crate::price_cache::PriceCache;
 use crate::select::select_candidates;
 use crate::timers::StageTimers;
+use crp_check::{CheckViolation, PlacementSnapshot};
 use crp_grid::RouteGrid;
 use crp_netlist::{CellId, Design, NetId, RowMap};
 use crp_router::{GlobalRouter, Routing};
@@ -106,6 +107,13 @@ impl Crp {
     ) -> IterationReport {
         let cost_before = routing.total_cost(grid);
 
+        // The invariant oracle's baseline: how the placement looked and
+        // where the congestion epoch stood before this iteration ran.
+        let level = self.config.check_level;
+        let baseline = level
+            .enabled()
+            .then(|| (PlacementSnapshot::capture(design), grid.epoch()));
+
         // Step 1: label critical cells.
         let t = Instant::now();
         let critical = label_critical_cells(
@@ -118,6 +126,15 @@ impl Crp {
             &mut self.rng,
         );
         self.timers.label += t.elapsed();
+        if level.enabled() {
+            fail_on(
+                "label",
+                crp_check::check_critical_set(design, &critical),
+                design,
+                grid,
+                routing,
+            );
+        }
 
         // Step 2: generate candidate positions (parallel; Algorithm 2).
         let t = Instant::now();
@@ -129,6 +146,23 @@ impl Crp {
             self.config.effective_threads(),
         );
         self.timers.gcp += t.elapsed();
+        if level.full() {
+            // Every candidate's claimed footprints must already be legal:
+            // on-site, on-row, inside the die, off blockages, and disjoint
+            // from fixed cells — the Eq. 11 legalizer's contract.
+            let fixed = crp_check::fixed_cell_rects(design);
+            let mut v = Vec::new();
+            for cands in &per_cell {
+                for cand in cands {
+                    v.extend(crp_check::check_claims(
+                        design,
+                        &cand.claimed_rects(design),
+                        &fixed,
+                    ));
+                }
+            }
+            fail_on("generate", v, design, grid, routing);
+        }
 
         // Step 3: estimate candidate costs (parallel; Algorithm 3).
         let t = Instant::now();
@@ -138,6 +172,18 @@ impl Crp {
         self.timers.ecc += t.elapsed();
         self.timers.ecc_cache_hits += self.cache.hits() - hits0;
         self.timers.ecc_cache_misses += self.cache.misses() - misses0;
+        if level.enabled() {
+            // Cheap audits a fixed candidate budget; Full re-prices every
+            // candidate without the cache and demands bitwise agreement.
+            let sample = if level.full() { None } else { Some(8) };
+            fail_on(
+                "estimate",
+                check_price_consistency(design, grid, routing, &per_cell, &self.config, sample),
+                design,
+                grid,
+                routing,
+            );
+        }
 
         // Step 4: select with the Eq. 12 ILP.
         let t = Instant::now();
@@ -148,6 +194,7 @@ impl Crp {
         let t = Instant::now();
         let candidates_total: usize = per_cell.iter().map(Vec::len).sum();
         let mut moved_cells = 0usize;
+        let mut moved_this_iter: HashSet<CellId> = HashSet::new();
         let mut nets_to_reroute: Vec<NetId> = Vec::new();
         let mut occupancy = RowMap::new(design);
         for (cands, &pick) in per_cell.iter().zip(&chosen) {
@@ -167,6 +214,9 @@ impl Crp {
                 occupancy.relocate(design, cell, pos);
                 design.move_cell(cell, pos, orient);
                 self.moved_set.insert(cell);
+                if level.enabled() {
+                    moved_this_iter.insert(cell);
+                }
                 moved_cells += 1;
                 for n in design.nets_of_cell(cell) {
                     if !nets_to_reroute.contains(&n) {
@@ -180,6 +230,31 @@ impl Crp {
         }
         self.critical_hist.extend(critical.iter().copied());
         self.timers.update += t.elapsed();
+        if let Some((snapshot, epoch0)) = &baseline {
+            let mut v = crp_check::check_placement(design);
+            v.extend(crp_check::check_untouched(
+                design,
+                snapshot,
+                &moved_this_iter,
+            ));
+            v.extend(crp_check::check_epoch(grid, *epoch0));
+            v.extend(crp_check::check_demand_totals(grid, routing));
+            if level.full() {
+                v.extend(crp_check::check_connectivity(design, grid, routing, None));
+                v.extend(crp_check::check_demand_exact(grid, routing));
+                v.extend(crp_check::check_touch_stamps(grid));
+            } else {
+                // Cheap trusts untouched routes and re-verifies only what
+                // this iteration ripped up.
+                v.extend(crp_check::check_connectivity(
+                    design,
+                    grid,
+                    routing,
+                    Some(&nets_to_reroute),
+                ));
+            }
+            fail_on("update", v, design, grid, routing);
+        }
 
         IterationReport {
             iteration,
@@ -215,6 +290,21 @@ fn generate_parallel(
             cands
         },
     )
+}
+
+/// Escalates a non-empty violation list through the oracle's diagnostic
+/// bundle (DEF + guides snapshot, then panic). A no-op when `violations`
+/// is empty.
+fn fail_on(
+    phase: &str,
+    violations: Vec<CheckViolation>,
+    design: &Design,
+    grid: &RouteGrid,
+    routing: &Routing,
+) {
+    if !violations.is_empty() {
+        crp_check::fail_with_bundle(phase, &violations, design, grid, routing);
+    }
 }
 
 /// Apply-time legality safeguard: whether the candidate's claimed
@@ -320,6 +410,40 @@ mod tests {
         crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
         assert!(crp.timers.total().as_nanos() > 0);
         assert!(crp.timers.ecc.as_nanos() > 0);
+    }
+
+    #[test]
+    fn full_check_level_is_silent_on_a_clean_flow() {
+        // The oracle panics on any violation, so simply finishing the run
+        // proves every invariant held after every phase.
+        let (mut d, mut grid, mut router, mut routing) = flow(6, 400.0);
+        let cfg = CrpConfig {
+            check_level: crp_check::CheckLevel::Full,
+            ..CrpConfig::default()
+        };
+        let mut crp = Crp::new(cfg);
+        let reports = crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
+        assert!(reports.iter().any(|r| r.moved_cells > 0));
+    }
+
+    #[test]
+    fn check_levels_do_not_change_the_outcome() {
+        // Checking is observation only: the flow's output must be
+        // bit-identical at every level.
+        let run = |level| {
+            let (mut d, mut grid, mut router, mut routing) = flow(1, 800.0);
+            let cfg = CrpConfig {
+                check_level: level,
+                ..CrpConfig::default()
+            };
+            let mut crp = Crp::new(cfg);
+            crp.run(2, &mut d, &mut grid, &mut router, &mut routing);
+            let positions: Vec<_> = d.cell_ids().map(|c| d.cell(c).pos).collect();
+            (positions, routing.total_wirelength(), routing.total_vias())
+        };
+        let off = run(crp_check::CheckLevel::Off);
+        assert_eq!(off, run(crp_check::CheckLevel::Cheap));
+        assert_eq!(off, run(crp_check::CheckLevel::Full));
     }
 
     #[test]

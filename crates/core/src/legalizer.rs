@@ -408,4 +408,87 @@ mod tests {
         assert_eq!(align_up(350, 100, 200), 500);
         assert_eq!(align_up(-150, 0, 200), 0);
     }
+
+    /// Every claim of every candidate must satisfy the oracle's claim
+    /// geometry — the Eq. 11 window contract `crp-check` enforces at
+    /// `Full` — and applying the joint move must leave the design legal.
+    fn assert_candidates_legal_per_oracle(d: &Design, cell: CellId) -> Vec<Candidate> {
+        let cfg = CrpConfig::default();
+        let lg = Legalizer::new(d, &cfg);
+        let cands = lg.candidates_for(cell);
+        let fixed = crp_check::fixed_cell_rects(d);
+        for cand in &cands {
+            let claims = cand.claimed_rects(d);
+            let v = crp_check::check_claims(d, &claims, &fixed);
+            assert!(v.is_empty(), "candidate {cand:?} claims illegally: {v:?}");
+            let mut trial = d.clone();
+            trial.move_cell(cand.cell, cand.pos, cand.orient);
+            for &(cc, p, o) in &cand.moves {
+                trial.move_cell(cc, p, o);
+            }
+            let v = crp_check::check_placement(&trial);
+            assert!(v.is_empty(), "candidate {cand:?} breaks placement: {v:?}");
+        }
+        cands
+    }
+
+    #[test]
+    fn window_clipped_at_die_corners_stays_inside_die() {
+        // Cells in the extreme corners: the Eq. 11 window hangs past the
+        // die on two sides and must be clipped, not wrapped or skipped.
+        let mut b = DesignBuilder::new("corner", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        b.add_rows(4, 30, Point::new(0, 0));
+        let u0 = b.add_cell("u0", m, Point::new(0, 0));
+        let u1 = b.add_cell("u1", m, Point::new(5600, 6000));
+        let n = b.add_net("n0");
+        b.connect(n, u0, "Y");
+        b.connect(n, u1, "A");
+        let d = b.build();
+        for cell in [u0, u1] {
+            let cands = assert_candidates_legal_per_oracle(&d, cell);
+            assert!(!cands.is_empty(), "corner cell {cell} got no candidates");
+            for cand in &cands {
+                for (_, rect) in cand.claimed_rects(&d) {
+                    assert!(d.die.contains_rect(&rect), "claim {rect} leaves the die");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_with_blockage_keeps_claims_off_it() {
+        // A placement blockage sits squarely inside u0's window, in the
+        // direction the net median pulls; every candidate must route
+        // around it (Eq. 11 slots on blockages are not legal slots).
+        let mut b = DesignBuilder::new("blocked", 1000);
+        b.site(200, 2000);
+        let m = b.add_macro(
+            MacroCell::new("INV", 400, 2000)
+                .with_pin("A", 100, 1000, 0)
+                .with_pin("Y", 300, 1000, 0),
+        );
+        b.add_rows(3, 30, Point::new(0, 0));
+        b.add_blockage(Rect::with_size(Point::new(800, 0), 1200, 2000));
+        let u0 = b.add_cell("u0", m, Point::new(0, 0));
+        let u1 = b.add_cell("u1", m, Point::new(4800, 4000));
+        let n = b.add_net("n0");
+        b.connect(n, u0, "Y");
+        b.connect(n, u1, "A");
+        let d = b.build();
+        let cands = assert_candidates_legal_per_oracle(&d, u0);
+        assert!(!cands.is_empty(), "blockage must not starve the window");
+        for cand in &cands {
+            for (_, rect) in cand.claimed_rects(&d) {
+                for blk in &d.blockages {
+                    assert!(!rect.intersects(blk), "claim {rect} sits on a blockage");
+                }
+            }
+        }
+    }
 }

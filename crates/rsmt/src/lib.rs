@@ -301,6 +301,60 @@ mod tests {
     }
 
     #[test]
+    fn two_pin_net_at_same_position_collapses_to_singleton() {
+        let p = Point::new(4, 9);
+        let t = rsmt(&[p, p]);
+        assert_eq!(t.points, vec![p]);
+        assert_eq!(t.num_terminals, 1);
+        assert_eq!(t.wirelength(), 0);
+        assert!(t.is_spanning_tree());
+    }
+
+    #[test]
+    fn collinear_horizontal_pins_form_a_line() {
+        // All pins on y = 3: the optimal tree is the segment itself — no
+        // Steiner point can save anything, WL = the x-span.
+        let t = rsmt(&[
+            Point::new(12, 3),
+            Point::new(0, 3),
+            Point::new(7, 3),
+            Point::new(3, 3),
+        ]);
+        assert_eq!(t.wirelength(), 12);
+        assert!(t.is_spanning_tree());
+        assert!(t.points.iter().all(|p| p.y == 3), "no off-line points");
+    }
+
+    #[test]
+    fn collinear_vertical_pins_form_a_line() {
+        let t = rsmt(&[Point::new(5, 0), Point::new(5, 20), Point::new(5, 11)]);
+        assert_eq!(t.wirelength(), 20);
+        assert!(t.is_spanning_tree());
+        assert!(t.points.iter().all(|p| p.x == 5), "no off-line points");
+    }
+
+    #[test]
+    fn duplicates_mixed_with_distinct_pins_collapse_first() {
+        // Three logical pins, five physical ones: duplicates must not
+        // inflate the terminal count or the wirelength.
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 0);
+        let c = Point::new(5, 8);
+        let dup = rsmt(&[a, b, a, c, b]);
+        let clean = rsmt(&[a, b, c]);
+        assert_eq!(dup.num_terminals, 3);
+        assert_eq!(dup.wirelength(), clean.wirelength());
+        assert!(dup.is_spanning_tree());
+    }
+
+    #[test]
+    fn one_pin_net_from_duplicates_is_degenerate_but_spanning() {
+        let p = Point::new(1, 1);
+        let t = rsmt(&[p, p, p, p]);
+        assert_eq!(t, SteinerTree::singleton(p));
+    }
+
+    #[test]
     fn median3_is_componentwise() {
         assert_eq!(
             median3(Point::new(0, 9), Point::new(5, 0), Point::new(9, 4)),
