@@ -15,7 +15,7 @@ use crp_netlist::{CellId, Design};
 use crp_router::{maze_route, pattern_route_tree, price_net, GlobalRouter, PinNode, RouterConfig};
 use crp_rsmt::rsmt;
 use crp_workload::ispd18_profiles;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 
 fn fixture() -> (Design, RouteGrid) {
@@ -55,7 +55,7 @@ fn bench_pattern_route(c: &mut Criterion) {
         PinNode::new(nx - 2, 2, 0),
         PinNode::new(3, ny - 2, 0),
     ];
-    let history = HashMap::new();
+    let history = BTreeMap::new();
     c.bench_function("router/pattern_route_3pin", |b| {
         b.iter(|| black_box(pattern_route_tree(&grid, black_box(&pins), &history, 0.0)))
     });
@@ -67,7 +67,7 @@ fn bench_pattern_route(c: &mut Criterion) {
 fn bench_maze(c: &mut Criterion) {
     let (_design, grid) = fixture();
     let (nx, ny, _) = grid.dims();
-    let history = HashMap::new();
+    let history = BTreeMap::new();
     c.bench_function("router/maze_corner_to_corner", |b| {
         b.iter(|| {
             black_box(maze_route(

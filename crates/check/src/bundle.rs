@@ -30,6 +30,9 @@ pub fn fail_with_bundle(
     routing: &Routing,
 ) -> ! {
     static BUNDLE_SEQ: AtomicU64 = AtomicU64::new(0);
+    // atomics(bundle sequence): only uniqueness matters for the directory
+    // name, and the fetch_add RMW guarantees it on its own; nothing else
+    // synchronizes through this counter, so Relaxed is sufficient.
     let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
     let dir: PathBuf = std::env::temp_dir().join(format!(
         "crp-check-{}-{}-{seq}",

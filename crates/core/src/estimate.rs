@@ -8,7 +8,7 @@ use crp_check::CheckViolation;
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
 use crp_router::{pattern_route_tree_discounted, NetRoute, PinNode, Routing};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Reusable per-worker buffers for candidate pricing.
 ///
@@ -21,9 +21,9 @@ use std::collections::{HashMap, HashSet};
 pub struct PriceScratch {
     nets: Vec<NetId>,
     pins: Vec<PinNode>,
-    discount: HashMap<Edge, f64>,
-    own: HashMap<(u16, u16, u16), f64>,
-    affected: HashSet<Edge>,
+    discount: BTreeMap<Edge, f64>,
+    own: BTreeMap<(u16, u16, u16), f64>,
+    affected: BTreeSet<Edge>,
 }
 
 impl PriceScratch {
@@ -137,6 +137,8 @@ fn price_one_net(
         scratch.pins.extend(design.net(net).pins.iter().map(|&p| {
             let pos = design.pin_position_overridden(p, |c| candidate.position_of(c));
             let (x, y) = grid.gcell_of(pos);
+            // crp-lint: allow(no-panic-paths, layer counts are validated to
+            // fit u16 when the grid is built from the same design)
             let layer = u16::try_from(design.pin_layer(p)).expect("layer fits u16");
             PinNode::new(x, y, layer)
         }));

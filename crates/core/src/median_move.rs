@@ -262,6 +262,8 @@ impl MedianMover {
                 if let Some(cs) = conflict_pairs.get(&(ga, ia)) {
                     for (vj, &(gb, ib)) in var_origin.iter().enumerate().skip(vi + 1) {
                         if cs.contains(&(gb, ib)) {
+                            // crp-lint: allow(cast-truncation, vi and vj index
+                            // the candidate list, capped far below u32::MAX)
                             model.add_conflict(VarId(vi as u32), VarId(vj as u32));
                         }
                     }

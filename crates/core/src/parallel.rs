@@ -41,6 +41,10 @@ where
                     let mut scratch = init();
                     let mut produced: Vec<(usize, T)> = Vec::new();
                     loop {
+                        // atomics(work-steal cursor): the RMW alone claims
+                        // each index exactly once; nothing else rides on the
+                        // cursor — results are published by the thread join
+                        // below, a full happens-before. Relaxed suffices.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -52,13 +56,18 @@ where
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("worker panicked") {
+            // Forward a worker panic instead of raising a new one here, so
+            // the original payload and message reach the caller intact.
+            let produced = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            for (i, v) in produced {
                 slots[i] = Some(v);
             }
         }
     });
     slots
         .into_iter()
+        // crp-lint: allow(no-panic-paths, the cursor hands out every index in
+        // 0..n exactly once and each worker records all indices it claimed)
         .map(|s| s.expect("every index claimed exactly once"))
         .collect()
 }

@@ -155,7 +155,13 @@ impl PriceCache {
             stay,
             pin_hash: if stay { 0 } else { Self::pin_hash(pins) },
         };
-        let shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        // A poisoned shard means some thread panicked while holding the
+        // lock; entries are still safe to read because every hit is
+        // re-verified against the pins and the grid epoch below.
+        let shard = self
+            .shard_of(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let hit = shard.get(&key).and_then(|e| {
             if e.pins != pins {
                 return None;
@@ -168,10 +174,14 @@ impl PriceCache {
         drop(shard);
         match hit {
             Some(price) => {
+                // atomics(stat counters): hits/misses are monotonic telemetry
+                // read after the parallel phase joins; no flow decision reads
+                // them concurrently, so Relaxed RMWs suffice.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(price)
             }
             None => {
+                // atomics(stat counters): same protocol as `hits` above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -208,7 +218,12 @@ impl PriceCache {
             hi,
             price,
         };
-        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        // Poison recovery: see `lookup` — entries are verified on read, so
+        // inserting past a poisoned lock cannot surface a torn value.
+        let mut shard = self
+            .shard_of(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.len() >= SHARD_CAPACITY {
             shard.clear();
         }
@@ -218,25 +233,33 @@ impl PriceCache {
     /// Total lookup hits since construction (or the last `reset_stats`).
     #[must_use]
     pub fn hits(&self) -> u64 {
+        // atomics(stat counters): read after the phase joins (see lookup).
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Total lookup misses since construction (or the last `reset_stats`).
     #[must_use]
     pub fn misses(&self) -> u64 {
+        // atomics(stat counters): read after the phase joins (see lookup).
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Resets the hit/miss counters (entries are kept).
     pub fn reset_stats(&self) {
+        // atomics(stat counters): called between phases, never concurrently
+        // with lookups (see lookup).
         self.hits.store(0, Ordering::Relaxed);
+        // atomics(stat counters): same protocol as the line above.
         self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
         }
         self.reset_stats();
     }

@@ -48,7 +48,7 @@
 
 mod grid;
 
-pub use grid::{CongestionSnapshot, RouteGrid};
+pub use grid::{CongestionSnapshot, GridError, RouteGrid};
 
 use crp_geom::Axis;
 use serde::{Deserialize, Serialize};
@@ -80,7 +80,7 @@ impl Gcell {
     /// Manhattan distance in gcell units, ignoring layers.
     #[must_use]
     pub fn planar_distance(self, other: Gcell) -> u32 {
-        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+        u32::from(self.x.abs_diff(other.x)) + u32::from(self.y.abs_diff(other.y))
     }
 }
 

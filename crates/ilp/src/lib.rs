@@ -156,6 +156,8 @@ impl Model {
 
     /// Adds a binary variable with objective coefficient `cost`.
     pub fn add_var(&mut self, cost: f64) -> VarId {
+        // crp-lint: allow(no-panic-paths, documented capacity contract: one
+        // variable per candidate, far below u32::MAX; overflow is a caller bug)
         let id = VarId(u32::try_from(self.costs.len()).expect("too many variables"));
         self.costs.push(cost);
         self.group_of.push(None);
@@ -171,6 +173,8 @@ impl Model {
     pub fn add_exactly_one(&mut self, vars: impl IntoIterator<Item = VarId>) {
         let vars: Vec<VarId> = vars.into_iter().collect();
         assert!(!vars.is_empty(), "exactly-one group cannot be empty");
+        // crp-lint: allow(no-panic-paths, documented capacity contract: one
+        // group per cell, far below u32::MAX; overflow is a caller bug)
         let gid = u32::try_from(self.groups.len()).expect("too many groups");
         for &v in &vars {
             assert!(
@@ -212,6 +216,8 @@ impl Model {
         for (i, g) in self.group_of.iter().enumerate() {
             if g.is_none() {
                 return Err(SolveError::UngroupedVariable {
+                    // crp-lint: allow(cast-truncation, i indexes the variable
+                    // list, whose length add_var capped to u32)
                     var: VarId(i as u32),
                 });
             }
@@ -241,8 +247,11 @@ impl Model {
             i
         }
         for (v, confs) in self.conflicts.iter().enumerate() {
+            // crp-lint: allow(no-panic-paths, the loop at the top of solve
+            // already returned UngroupedVariable if any entry were None)
             let gv = self.group_of[v].expect("validated") as usize;
             for c in confs {
+                // crp-lint: allow(no-panic-paths, same validation as above)
                 let gc = self.group_of[c.index()].expect("validated") as usize;
                 let (rv, rc) = (find(&mut comp, gv), find(&mut comp, gc));
                 if rv != rc {
@@ -280,6 +289,8 @@ impl Model {
                             .total_cmp(&self.costs[b.index()])
                             .then(a.cmp(b))
                     })
+                    // crp-lint: allow(no-panic-paths, add_exactly_one
+                    // rejects empty groups, so min_by always sees one var)
                     .expect("groups are non-empty");
                 chosen[g] = best;
                 objective += self.costs[best.index()];
@@ -351,6 +362,8 @@ impl Model {
         for (i, g) in self.group_of.iter().enumerate() {
             if g.is_none() {
                 return Err(SolveError::UngroupedVariable {
+                    // crp-lint: allow(cast-truncation, i indexes the variable
+                    // list, whose length add_var capped to u32)
                     var: VarId(i as u32),
                 });
             }
@@ -569,6 +582,8 @@ impl Search<'_> {
                     .then(b.regret.total_cmp(&a.regret))
                     .then(a.group.cmp(&b.group))
             })
+            // crp-lint: allow(no-panic-paths, branch() is only called while
+            // an undone group remains, so the state list is non-empty)
             .expect("states non-empty");
         let g = pick.group;
         let vars = &self.sorted_groups[g];

@@ -117,12 +117,13 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
         .map(|(i, m)| (m.name.as_str(), MacroId::from_index(i)))
         .collect();
 
-    let get_builder = |b: &mut Option<DesignBuilder>, line: usize| -> Result<(), ParseError> {
-        if b.is_none() {
-            return Err(ParseError::new(line, "statement before DESIGN"));
-        }
-        Ok(())
-    };
+    fn get_builder(
+        b: &mut Option<DesignBuilder>,
+        line: usize,
+    ) -> Result<&mut DesignBuilder, ParseError> {
+        b.as_mut()
+            .ok_or_else(|| ParseError::new(line, "statement before DESIGN"))
+    }
 
     while let Some(tok) = lx.next() {
         match tok {
@@ -169,7 +170,7 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                 lx.int()?;
                 lx.int()?;
                 lx.expect(";")?;
-                let b = builder.as_mut().expect("checked above");
+                let b = get_builder(&mut builder, lx.line())?;
                 // add_rows alternates automatically; add one row manually to
                 // honour the file's explicit orientation.
                 b.add_row_exact(
@@ -183,7 +184,7 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                 get_builder(&mut builder, lx.line())?;
                 lx.int()?;
                 lx.expect(";")?;
-                let b = builder.as_mut().expect("checked above");
+                let b = get_builder(&mut builder, lx.line())?;
                 loop {
                     match lx.ident()? {
                         "END" => {
@@ -278,7 +279,7 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                 get_builder(&mut builder, lx.line())?;
                 lx.int()?;
                 lx.expect(";")?;
-                let b = builder.as_mut().expect("checked above");
+                let b = get_builder(&mut builder, lx.line())?;
                 loop {
                     match lx.ident()? {
                         "END" => {
@@ -312,7 +313,7 @@ pub fn parse_def(text: &str, tech: &Tech) -> Result<Design, ParseError> {
                 get_builder(&mut builder, lx.line())?;
                 lx.int()?;
                 lx.expect(";")?;
-                let b = builder.as_mut().expect("checked above");
+                let b = get_builder(&mut builder, lx.line())?;
                 loop {
                     match lx.ident()? {
                         "END" => {

@@ -1,0 +1,95 @@
+//! Workspace walking and per-file rule scoping.
+//!
+//! The driver scans every `.rs` file under `crates/` (the workspace's
+//! own code; the `vendor/` tree holds offline stand-ins for external
+//! crates and is not ours to police). Integration tests, benches,
+//! examples, and lint fixtures are skipped — the panic and determinism
+//! rules exist for the *flow*, and test code panics by design.
+
+use crate::rules::{lint_file, Diagnostic, FileScope};
+use std::path::{Path, PathBuf};
+
+/// Path prefixes (relative to the workspace root) holding flow code:
+/// everything whose behaviour can reach placement, routing, or output
+/// bytes. The legalizer lives in `crates/core`.
+pub const FLOW_PATHS: &[&str] = &[
+    "crates/core/src",
+    "crates/router/src",
+    "crates/grid/src",
+    "crates/ilp/src",
+    "crates/rsmt/src",
+];
+
+/// Directory names that are never scanned.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "fixtures", "tests", "benches", "examples",
+];
+
+/// Lints every workspace source file under `root`, returning all
+/// diagnostics sorted by file and line.
+///
+/// # Errors
+///
+/// Returns an error when the workspace tree cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, std::io::Error> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+
+    let mut out = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(lint_file(&rel, &src, scope_of(&rel)));
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// The rule scope of a workspace-relative path.
+#[must_use]
+pub fn scope_of(rel: &str) -> FileScope {
+    FileScope {
+        flow: FLOW_PATHS.iter().any(|p| rel.starts_with(p)),
+        crate_root: rel.starts_with("crates/") && rel.ends_with("src/lib.rs"),
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes() {
+        assert!(scope_of("crates/core/src/flow.rs").flow);
+        assert!(scope_of("crates/rsmt/src/lib.rs").flow);
+        assert!(scope_of("crates/rsmt/src/lib.rs").crate_root);
+        assert!(!scope_of("crates/lefdef/src/def.rs").flow);
+        assert!(scope_of("crates/lefdef/src/lib.rs").crate_root);
+        assert!(!scope_of("crates/bench/src/flows.rs").flow);
+    }
+}

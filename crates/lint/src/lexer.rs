@@ -1,0 +1,394 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The vendor tree is offline, so there is no `syn`/`proc-macro2` to lean
+//! on; this lexer produces a flat token stream with line numbers and
+//! keeps comments as tokens (the rule engine reads suppression and
+//! justification annotations out of them). It understands everything
+//! that can *hide* rule-relevant text from a naive substring scan:
+//! nested block comments, string/char/byte literals, raw strings with
+//! arbitrarily many `#`s, and the lifetime-vs-char-literal ambiguity.
+//! It does not parse: rules work on token patterns, not an AST.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Any numeric literal (`1`, `0xff_u64`, `1.5e-3`).
+    Number,
+    /// A string, raw string, byte string, or char literal.
+    Literal,
+    /// A `// ...` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment (nesting handled).
+    BlockComment,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `<`, ...).
+    Punct,
+}
+
+/// One token with its source position (1-based line).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's exact source text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept. The lexer never fails: unterminated constructs are consumed to
+/// end-of-input, which is good enough for linting (rustc rejects such
+/// files long before we see them).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Every branch pushes at most one token and always advances `i`.
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::LineComment,
+                    src,
+                    start,
+                    i,
+                    start_line,
+                );
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::BlockComment,
+                    src,
+                    start,
+                    i,
+                    start_line,
+                );
+            }
+            '"' => {
+                i = consume_string(bytes, i, &mut line);
+                push(&mut tokens, TokenKind::Literal, src, start, i, start_line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = consume_raw_or_byte_string(bytes, i, &mut line);
+                push(&mut tokens, TokenKind::Literal, src, start, i, start_line);
+            }
+            '\'' => {
+                if is_lifetime(bytes, i) {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    push(&mut tokens, TokenKind::Lifetime, src, start, i, start_line);
+                } else {
+                    i = consume_char_literal(bytes, i);
+                    push(&mut tokens, TokenKind::Literal, src, start, i, start_line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = consume_number(bytes, i);
+                push(&mut tokens, TokenKind::Number, src, start, i, start_line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push(&mut tokens, TokenKind::Ident, src, start, i, start_line);
+            }
+            _ => {
+                i += c.len_utf8();
+                push(&mut tokens, TokenKind::Punct, src, start, i, start_line);
+            }
+        }
+    }
+    tokens
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, src: &str, start: usize, end: usize, line: u32) {
+    tokens.push(Token {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+    });
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `'x'`-style literal vs `'a` lifetime: it is a lifetime when the quote
+/// is followed by an identifier that is *not* closed by another quote
+/// (`'a'` is a char, `'a>` or `'a,` a lifetime; `'static` a lifetime).
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false; // '\n', '(' etc.: a char literal (or garbage).
+    }
+    let mut j = i + 2;
+    while j < bytes.len() && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+/// Consumes a `"..."` string starting at the opening quote, honouring
+/// `\"` and `\\` escapes. Returns the index past the closing quote.
+fn consume_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') || bytes.get(j) == Some(&b'"') {
+            return true;
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    false
+}
+
+/// Consumes `r#"..."#`-family literals (and plain `b"..."`/`b'...'`).
+fn consume_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+        if bytes.get(i) == Some(&b'\'') {
+            return consume_char_literal(bytes, i);
+        }
+        if bytes.get(i) == Some(&b'"') {
+            return consume_string(bytes, i, line);
+        }
+    }
+    // r with 0+ hashes.
+    i += 1; // past 'r'
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // past opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a `'x'` char literal starting at the quote.
+fn consume_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+        // \u{...}
+        if bytes.get(i - 1) == Some(&b'u') && bytes.get(i) == Some(&b'{') {
+            while i < bytes.len() && bytes[i] != b'}' {
+                i += 1;
+            }
+            i += 1;
+        }
+    } else if i < bytes.len() {
+        // A (possibly multi-byte) character.
+        i += 1;
+        while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a numeric literal. Eats digits, `_`, alphanumeric suffixes
+/// (`u64`, `f32`, hex digits, `e`-exponents) and a fractional `.` only
+/// when followed by a digit — so `1..5` stays two tokens and a range.
+fn consume_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        let b = bytes[i];
+        let fractional_dot = b == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+        let exponent_sign = (b == b'+' || b == b'-')
+            && matches!(bytes.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'));
+        if b.is_ascii_alphanumeric() || b == b'_' || fractional_dot || exponent_sign {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Ident, "y_2".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("a\n// one\n/* two\nlines */ b");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[3].text, "b");
+        assert_eq!(toks[3].line, 4);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "no .unwrap() here"; t"#);
+        assert!(toks.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; done"###);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_and_range_numbers() {
+        let t = kinds("1.5e-3 0xff_u64 1..5");
+        assert_eq!(t[0], (TokenKind::Number, "1.5e-3".into()));
+        assert_eq!(t[1], (TokenKind::Number, "0xff_u64".into()));
+        assert_eq!(t[2], (TokenKind::Number, "1".into()));
+        assert_eq!(t[3], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokenKind::Number, "5".into()));
+    }
+}

@@ -1,0 +1,33 @@
+//! `crp-lint`: the CR&P workspace's static-analysis gate.
+//!
+//! The whole flow rests on one contract: results are bit-identical
+//! across thread counts, cache settings, and check levels. `crp-check`
+//! enforces that contract at runtime; this crate enforces it in the
+//! source, where it actually gets broken — a `HashMap` iteration whose
+//! order leaks into a cost, an `unwrap()` that turns a malformed DEF
+//! into a panic, an `Ordering::Relaxed` nobody can explain. Five rules
+//! (see [`rules::Rule`]) run over a hand-rolled lexer (the vendor tree
+//! is offline; there is no `syn` to lean on), with inline
+//! `// crp-lint: allow(<rule>, <reason>)` suppressions so that every
+//! exception is explained where it lives.
+//!
+//! Alongside the lexical pass, [`race`] is a bounded-interleaving
+//! checker (a miniature `loom`) and [`models`] are its models of the
+//! workspace's two lock-free protocols — the `run_indexed` work-steal
+//! cursor and the epoch-invalidated price cache. A passing model is a
+//! proof over *every* interleaving at model size that no schedule loses
+//! an index, claims one twice, or serves a stale-epoch cache hit.
+//!
+//! Run the lint gate with `cargo run -p crp-lint -- --deny-warnings`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod models;
+pub mod race;
+pub mod rules;
+
+pub use engine::{lint_workspace, scope_of, FLOW_PATHS};
+pub use rules::{lint_file, Diagnostic, FileScope, Rule};

@@ -1,0 +1,104 @@
+//! The `crp-lint` command-line driver.
+//!
+//! ```text
+//! cargo run -p crp-lint -- [--deny-warnings] [--race] [ROOT]
+//! ```
+//!
+//! Lints every workspace source file under `ROOT` (default: the
+//! workspace the binary was built from, falling back to the current
+//! directory) and prints one line per finding. `--deny-warnings` makes
+//! any finding fatal (exit 1) — that is how CI runs it. `--race`
+//! additionally exhausts the protocol models of [`crp_lint::models`].
+
+use crp_lint::models::{CachePhaseModel, StealPriceModel, WorkStealModel};
+use crp_lint::race::{explore, Model};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut race = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--race" => race = true,
+            "--help" | "-h" => {
+                println!("usage: crp-lint [--deny-warnings] [--race] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ => root = Some(PathBuf::from(arg)),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let diagnostics = match crp_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("crp-lint: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+
+    let mut failed = deny && !diagnostics.is_empty();
+    if race {
+        failed |= !run_race_models();
+    }
+
+    match diagnostics.len() {
+        0 => println!("crp-lint: clean ({} rules)", 5),
+        n => println!("crp-lint: {n} finding(s)"),
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Exhausts the three protocol models; returns false on any violation.
+fn run_race_models() -> bool {
+    let mut ok = true;
+    ok &= report(
+        "work-steal cursor (3 workers, 4 items)",
+        &WorkStealModel::new(4, 3),
+    );
+    ok &= report(
+        "epoch cache across mutation phase",
+        &CachePhaseModel::correct(),
+    );
+    ok &= report(
+        "work-steal + shared cache key (2 workers, 3 items)",
+        &StealPriceModel::new(3, 2),
+    );
+    ok
+}
+
+fn report<M: Model>(name: &str, model: &M) -> bool {
+    match explore(model) {
+        Ok(stats) => {
+            println!(
+                "crp-lint race: {name}: ok ({} interleavings, {} transitions)",
+                stats.terminals, stats.transitions
+            );
+            true
+        }
+        Err(v) => {
+            eprintln!("crp-lint race: {name}: VIOLATION: {v}");
+            false
+        }
+    }
+}
+
+/// The workspace root: compiled in at build time (`CARGO_MANIFEST_DIR`
+/// is `crates/lint`), with a cwd fallback for relocated binaries.
+fn workspace_root() -> PathBuf {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match compiled.parent().and_then(std::path::Path::parent) {
+        Some(root) if root.join("crates").is_dir() => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}

@@ -1,0 +1,446 @@
+//! Race-checker models of the workspace's two lock-free protocols.
+//!
+//! Three models, each small enough for [`crate::race::explore`] to
+//! exhaust every interleaving:
+//!
+//! - [`WorkStealModel`] — the shared-cursor work stealing of
+//!   `crp-core::parallel::run_indexed`: workers claim indices with one
+//!   atomic `fetch_add` and results merge by index. Proven: no lost
+//!   index, no double-claim, on any schedule. The "split cursor"
+//!   variant models the classic broken version (separate load and
+//!   store) and must be *caught*.
+//! - [`CachePhaseModel`] — the epoch-invalidated price cache across a
+//!   mutation phase: workers price through the cache while the grid is
+//!   frozen, the grid then mutates (one in-region and one out-of-region
+//!   step), and a second worker round prices again. Proven: a lookup
+//!   hit always returns what a fresh computation would produce — the
+//!   out-of-region mutation must *keep* the entry (epoch precision) and
+//!   the in-region mutation must *kill* it. The "no phase barrier"
+//!   variant models a mutator running concurrently with the pricing
+//!   workers — what the borrow checker forbids in the real code
+//!   (`&RouteGrid` is shared during the estimate phase) — and the
+//!   "late invalidation" variant models an off-by-one in the epoch
+//!   comparison; both must be caught as stale hits.
+//! - [`StealPriceModel`] — the two protocols composed, as in the real
+//!   estimate phase: two workers steal items and price each through one
+//!   *shared* cache key (maximal store/store and store/lookup
+//!   contention). Proven: every item priced exactly once, every
+//!   recorded price correct, on any schedule.
+
+use crate::race::Model;
+
+// ---------------------------------------------------------------------
+// Work stealing
+// ---------------------------------------------------------------------
+
+/// What a work-steal worker does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StealPhase {
+    /// Claim the next index from the shared cursor.
+    Fetch,
+    /// (Split-cursor variant only) write back `local + 1`.
+    WriteBack(usize),
+    /// Process claimed index.
+    Claim(usize),
+    /// Out of work.
+    Done,
+}
+
+/// The `run_indexed` cursor protocol. See module docs.
+#[derive(Debug, Clone)]
+pub struct WorkStealModel {
+    n: usize,
+    atomic_rmw: bool,
+    cursor: usize,
+    claimed: Vec<u32>,
+    phase: Vec<StealPhase>,
+}
+
+impl WorkStealModel {
+    /// The real protocol: the cursor is advanced by an atomic RMW
+    /// (`fetch_add`), claiming and bumping in one indivisible step.
+    #[must_use]
+    pub fn new(items: usize, workers: usize) -> WorkStealModel {
+        WorkStealModel {
+            n: items,
+            atomic_rmw: true,
+            cursor: 0,
+            claimed: vec![0; items],
+            phase: vec![StealPhase::Fetch; workers],
+        }
+    }
+
+    /// The known-bad variant: cursor read and write-back as two separate
+    /// steps (a plain load + store instead of `fetch_add`). Two workers
+    /// can read the same value — the checker must find the double-claim.
+    #[must_use]
+    pub fn with_split_cursor(items: usize, workers: usize) -> WorkStealModel {
+        WorkStealModel {
+            atomic_rmw: false,
+            ..WorkStealModel::new(items, workers)
+        }
+    }
+}
+
+impl Model for WorkStealModel {
+    fn threads(&self) -> usize {
+        self.phase.len()
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        self.phase[t] != StealPhase::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        self.phase[t] = match self.phase[t] {
+            StealPhase::Fetch if self.atomic_rmw => {
+                let i = self.cursor;
+                self.cursor += 1;
+                if i >= self.n {
+                    StealPhase::Done
+                } else {
+                    StealPhase::Claim(i)
+                }
+            }
+            StealPhase::Fetch => StealPhase::WriteBack(self.cursor),
+            StealPhase::WriteBack(i) => {
+                self.cursor = i + 1;
+                if i >= self.n {
+                    StealPhase::Done
+                } else {
+                    StealPhase::Claim(i)
+                }
+            }
+            StealPhase::Claim(i) => {
+                self.claimed[i] += 1;
+                StealPhase::Fetch
+            }
+            StealPhase::Done => StealPhase::Done,
+        };
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        for (i, &c) in self.claimed.iter().enumerate() {
+            if c == 0 {
+                return Err(format!("lost index: item {i} never claimed"));
+            }
+            if c > 1 {
+                return Err(format!("double-claim: item {i} claimed {c} times"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch-invalidated price cache
+// ---------------------------------------------------------------------
+
+/// One cached price with the epoch it was computed at (the model's
+/// single region plays the part of `PriceCache`'s per-entry bbox).
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    epoch: u32,
+    price: u32,
+}
+
+/// What a pricing worker does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PriceStep {
+    /// Consult the cache; hit records the result, miss goes to compute.
+    Lookup,
+    /// Read the "grid" (the true price) into a local.
+    Compute,
+    /// Publish the local price with the *current* epoch, record result.
+    Store(u32),
+    /// Result recorded.
+    Done,
+}
+
+/// The cache protocol across a mutation phase. Threads 0–1 are the
+/// first pricing round, thread 2 the grid mutator (one out-of-region
+/// bump, then one in-region bump), threads 3–4 the second round.
+#[derive(Debug, Clone)]
+pub struct CachePhaseModel {
+    /// Whether phases are separated (the borrow checker's contribution).
+    barrier: bool,
+    /// Hit predicate slack: 0 is the real protocol (`touch <= epoch`);
+    /// 1 models an off-by-one invalidation bug (`touch <= epoch + 1`).
+    invalidation_slack: u32,
+    epoch: u32,
+    /// Last epoch the modelled region was touched.
+    touch: u32,
+    /// What a fresh computation would return right now.
+    true_price: u32,
+    entry: Option<CacheEntry>,
+    /// Remaining mutator steps: `true` = in-region.
+    mutations: Vec<bool>,
+    workers: [PriceStep; 4],
+    /// Set when a worker records a result a fresh computation would not
+    /// produce — the stale hit the protocol must make impossible.
+    stale: Option<String>,
+}
+
+impl CachePhaseModel {
+    /// The real protocol: phase barrier, exact epoch invalidation.
+    #[must_use]
+    pub fn correct() -> CachePhaseModel {
+        CachePhaseModel {
+            barrier: true,
+            invalidation_slack: 0,
+            epoch: 0,
+            touch: 0,
+            true_price: 0,
+            entry: None,
+            // In-region first (kills round-one entries), then
+            // out-of-region (round-two stores must survive it): both
+            // directions of epoch precision get exercised.
+            mutations: vec![true, false],
+            workers: [PriceStep::Lookup; 4],
+            stale: None,
+        }
+    }
+
+    /// Known-bad variant: the mutator may interleave with the first
+    /// pricing round (no phase barrier). A worker can then compute a
+    /// price from the old grid and store it stamped with the *new*
+    /// epoch — a latent stale entry the second round hits.
+    #[must_use]
+    pub fn without_phase_barrier() -> CachePhaseModel {
+        CachePhaseModel {
+            barrier: false,
+            ..CachePhaseModel::correct()
+        }
+    }
+
+    /// Known-bad variant: invalidation accepts entries one epoch too
+    /// old, so the in-region mutation fails to kill the entry.
+    #[must_use]
+    pub fn with_late_invalidation() -> CachePhaseModel {
+        CachePhaseModel {
+            invalidation_slack: 1,
+            ..CachePhaseModel::correct()
+        }
+    }
+
+    fn round_one_done(&self) -> bool {
+        self.workers[0] == PriceStep::Done && self.workers[1] == PriceStep::Done
+    }
+
+    fn mutator_done(&self) -> bool {
+        self.mutations.is_empty()
+    }
+
+    /// A worker records its priced result; a fresh computation right
+    /// now would return `true_price`.
+    fn record(&mut self, who: usize, price: u32, via_hit: bool) {
+        if price != self.true_price {
+            let how = if via_hit {
+                "stale cache hit"
+            } else {
+                "stale compute"
+            };
+            self.stale = Some(format!(
+                "{how}: worker {who} recorded price {price}, fresh computation gives {}",
+                self.true_price
+            ));
+        }
+    }
+
+    fn worker_step(&mut self, w: usize) {
+        self.workers[w] = match self.workers[w] {
+            PriceStep::Lookup => match self.entry {
+                Some(e) if self.touch <= e.epoch + self.invalidation_slack => {
+                    self.record(w, e.price, true);
+                    PriceStep::Done
+                }
+                _ => PriceStep::Compute,
+            },
+            PriceStep::Compute => PriceStep::Store(self.true_price),
+            PriceStep::Store(local) => {
+                self.entry = Some(CacheEntry {
+                    epoch: self.epoch,
+                    price: local,
+                });
+                self.record(w, local, false);
+                PriceStep::Done
+            }
+            PriceStep::Done => PriceStep::Done,
+        };
+    }
+}
+
+impl Model for CachePhaseModel {
+    fn threads(&self) -> usize {
+        5
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        match t {
+            0 | 1 => self.workers[t] != PriceStep::Done,
+            2 => !self.mutator_done() && (!self.barrier || self.round_one_done()),
+            3 | 4 => {
+                self.workers[t - 1] != PriceStep::Done
+                    && self.round_one_done()
+                    && self.mutator_done()
+            }
+            _ => false,
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        match t {
+            0 | 1 => self.worker_step(t),
+            2 => {
+                let in_region = self.mutations.remove(0);
+                self.epoch += 1;
+                if in_region {
+                    self.touch = self.epoch;
+                    self.true_price += 1;
+                }
+            }
+            _ => self.worker_step(t - 1),
+        }
+    }
+
+    fn check_step(&self) -> Result<(), String> {
+        match &self.stale {
+            Some(msg) => Err(msg.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        // No latent stale entry: anything a future lookup would accept
+        // must equal a fresh computation.
+        if let Some(e) = self.entry {
+            if self.touch <= e.epoch + self.invalidation_slack && e.price != self.true_price {
+                return Err(format!(
+                    "latent stale entry: cached {} at epoch {}, fresh computation gives {}",
+                    e.price, e.epoch, self.true_price
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composition: work stealing over cache-priced items
+// ---------------------------------------------------------------------
+
+/// A stealing worker pricing its claimed item through the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ComposedPhase {
+    Fetch,
+    Lookup(usize),
+    Compute(usize),
+    Store(usize, u32),
+    Done,
+}
+
+/// The estimate phase end to end: workers steal items off the shared
+/// cursor and price every item through one shared cache key while the
+/// grid is frozen. See module docs.
+#[derive(Debug, Clone)]
+pub struct StealPriceModel {
+    n: usize,
+    cursor: usize,
+    /// Per-item count of recorded results.
+    priced: Vec<u32>,
+    true_price: u32,
+    entry: Option<CacheEntry>,
+    phase: Vec<ComposedPhase>,
+    stale: Option<String>,
+}
+
+impl StealPriceModel {
+    /// The real composed protocol over `items` work items.
+    #[must_use]
+    pub fn new(items: usize, workers: usize) -> StealPriceModel {
+        StealPriceModel {
+            n: items,
+            cursor: 0,
+            priced: vec![0; items],
+            true_price: 7,
+            entry: None,
+            phase: vec![ComposedPhase::Fetch; workers],
+            stale: None,
+        }
+    }
+
+    fn record(&mut self, item: usize, price: u32, via_hit: bool) {
+        self.priced[item] += 1;
+        if price != self.true_price {
+            let how = if via_hit {
+                "stale cache hit"
+            } else {
+                "stale compute"
+            };
+            self.stale = Some(format!(
+                "{how}: item {item} priced {price}, fresh computation gives {}",
+                self.true_price
+            ));
+        }
+    }
+}
+
+impl Model for StealPriceModel {
+    fn threads(&self) -> usize {
+        self.phase.len()
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        self.phase[t] != ComposedPhase::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        self.phase[t] = match self.phase[t] {
+            ComposedPhase::Fetch => {
+                let i = self.cursor;
+                self.cursor += 1;
+                if i >= self.n {
+                    ComposedPhase::Done
+                } else {
+                    ComposedPhase::Lookup(i)
+                }
+            }
+            ComposedPhase::Lookup(i) => match self.entry {
+                Some(e) => {
+                    self.record(i, e.price, true);
+                    ComposedPhase::Fetch
+                }
+                None => ComposedPhase::Compute(i),
+            },
+            ComposedPhase::Compute(i) => ComposedPhase::Store(i, self.true_price),
+            ComposedPhase::Store(i, local) => {
+                self.entry = Some(CacheEntry {
+                    epoch: 0,
+                    price: local,
+                });
+                self.record(i, local, false);
+                ComposedPhase::Fetch
+            }
+            ComposedPhase::Done => ComposedPhase::Done,
+        };
+    }
+
+    fn check_step(&self) -> Result<(), String> {
+        match &self.stale {
+            Some(msg) => Err(msg.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        for (i, &c) in self.priced.iter().enumerate() {
+            if c == 0 {
+                return Err(format!("lost index: item {i} never priced"));
+            }
+            if c > 1 {
+                return Err(format!("double-claim: item {i} priced {c} times"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: unjustified ambiguous orderings the rule must catch.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish() {
+    COUNTER.store(7, Ordering::SeqCst);
+}

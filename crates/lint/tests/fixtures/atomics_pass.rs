@@ -1,0 +1,26 @@
+// Fixture: justified orderings and self-documenting ones.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static FLAG: AtomicU64 = AtomicU64::new(0);
+
+fn bump() -> u64 {
+    // atomics(stat-counter): monotonic tally read only after join; no
+    // ordering with other memory is needed, the RMW alone is enough.
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn bump_multiline() -> u64 {
+    // atomics(stat-counter): the annotation window spans the statement's
+    // continuation lines.
+    COUNTER.fetch_add(
+        1,
+        Ordering::Relaxed,
+    )
+}
+
+fn handoff() {
+    // Acquire/Release name their happens-before edge by themselves.
+    FLAG.store(1, Ordering::Release);
+    let _ = FLAG.load(Ordering::Acquire);
+}

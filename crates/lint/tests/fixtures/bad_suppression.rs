@@ -1,0 +1,10 @@
+// Fixture: malformed annotations are findings themselves.
+fn reasons_are_mandatory(v: Option<u32>) -> u32 {
+    // crp-lint: allow(no-panic-paths)
+    v.unwrap()
+}
+
+fn rule_names_must_exist(v: Option<u32>) -> u32 {
+    // crp-lint: allow(no-panicking, typo in the rule name)
+    v.unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+// Fixture: narrowing casts on coordinate-sized values.
+fn gcell_of(x: i64, y: i64) -> (u16, u16) {
+    (x as u16, y as u16)
+}
+
+fn index(i: usize) -> u32 {
+    i as u32
+}

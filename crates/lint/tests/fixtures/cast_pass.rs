@@ -1,0 +1,16 @@
+// Fixture: checked conversions, widening casts, and one annotated
+// clamped cast.
+fn checked(x: i64) -> Result<u16, std::num::TryFromIntError> {
+    u16::try_from(x)
+}
+
+fn widening(x: u16) -> i64 {
+    i64::from(x) + (x as i64) + (x as usize as i64)
+}
+
+fn annotated(x: i64, nx: i64) -> u16 {
+    let clamped = x.clamp(0, nx - 1);
+    // crp-lint: allow(cast-truncation, clamped to [0, nx) just above and
+    // nx fits u16 by grid construction)
+    clamped as u16
+}

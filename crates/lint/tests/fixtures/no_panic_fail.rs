@@ -1,0 +1,14 @@
+// Fixture: panic paths the rule must catch in flow code.
+fn takes(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("bad input");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        n => n,
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: panic-free error handling, test-code exemption, parser-style
+// `expect(..)?`, and one annotated infallible case.
+struct Lexer;
+
+impl Lexer {
+    fn expect(&mut self, _want: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn parses(lx: &mut Lexer) -> Result<u32, String> {
+    lx.expect(";")?;
+    Ok(0)
+}
+
+fn propagates(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+fn defaults(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+fn annotated(always: Option<u32>) -> u32 {
+    // crp-lint: allow(no-panic-paths, the caller inserted the key on the
+    // previous line; absence is a programming error, not an input error)
+    always.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: every form of hash-ordered iteration the rule must catch.
+use std::collections::{HashMap, HashSet};
+
+struct Scratch {
+    discount: HashMap<u64, f64>,
+}
+
+fn keyed_methods(own: &HashMap<(u16, u16), f64>, affected: &HashSet<u64>) -> usize {
+    let mut n = 0;
+    for k in own.keys() {
+        let _ = k;
+        n += 1;
+    }
+    n + affected.iter().count()
+}
+
+fn for_loop_over_map(scratch: &Scratch) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in &scratch.discount {
+        total += v;
+    }
+    total
+}
+
+fn untyped_init() -> Vec<u32> {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    seen.into_iter().collect()
+}

@@ -1,0 +1,38 @@
+// Fixture: order-safe patterns the rule must NOT flag, plus one
+// justified suppression.
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+struct Cache {
+    shards: Vec<HashMap<u64, f64>>,
+}
+
+fn keyed_lookups_are_fine(map: &HashMap<u64, f64>, set: &HashSet<u64>) -> f64 {
+    let hit = map.get(&1).copied().unwrap_or(0.0);
+    let present = set.contains(&2);
+    if present {
+        hit
+    } else {
+        0.0
+    }
+}
+
+fn btree_iteration_is_fine(bmap: &BTreeMap<u64, f64>, bset: &BTreeSet<u64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in bmap {
+        total += v;
+    }
+    total + bset.iter().count() as f64
+}
+
+fn iterating_the_wrapper_is_fine(cache: &Cache) -> usize {
+    let mut n = 0;
+    for shard in &cache.shards {
+        n += shard.len();
+    }
+    n
+}
+
+fn annotated_iteration(counts: &HashMap<u64, u64>) -> u64 {
+    // crp-lint: allow(nondet-iter, summing u64 values is order-independent)
+    counts.values().sum()
+}

@@ -1,0 +1,4 @@
+// Fixture: a crate root missing the unsafe-code forbid.
+#![warn(missing_docs)]
+
+pub fn noop() {}

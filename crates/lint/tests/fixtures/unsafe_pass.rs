@@ -1,0 +1,5 @@
+// Fixture: a well-formed crate root.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

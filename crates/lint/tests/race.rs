@@ -1,0 +1,68 @@
+//! Race-checker regression tests: the real protocols must survive an
+//! exhaustive interleaving search, and the known-bad variants must be
+//! caught. These are the "the checker actually checks" tests the CI
+//! lint job runs.
+
+use crp_lint::models::{CachePhaseModel, StealPriceModel, WorkStealModel};
+use crp_lint::race::explore;
+use std::time::Instant;
+
+#[test]
+fn work_steal_cursor_is_sound_for_two_and_three_workers() {
+    for (items, workers) in [(2, 2), (4, 2), (3, 3), (4, 3)] {
+        let stats = explore(&WorkStealModel::new(items, workers))
+            .unwrap_or_else(|v| panic!("{items} items / {workers} workers: {v}"));
+        assert!(stats.terminals > 1, "exploration degenerated");
+    }
+}
+
+#[test]
+fn split_cursor_double_claim_is_caught() {
+    let v = explore(&WorkStealModel::with_split_cursor(2, 2))
+        .expect_err("non-atomic cursor must be caught");
+    assert!(
+        v.message.contains("double-claim") || v.message.contains("lost index"),
+        "wrong violation: {v}"
+    );
+    // The trace is a concrete interleaving a human can replay.
+    assert!(!v.schedule.is_empty());
+}
+
+#[test]
+fn epoch_cache_protocol_is_sound_across_mutation_phases() {
+    let stats = explore(&CachePhaseModel::correct()).unwrap_or_else(|v| panic!("{v}"));
+    // Two pricing rounds × two workers with hit/miss branching around a
+    // two-step mutator: well over a handful of schedules.
+    assert!(stats.terminals > 10, "exploration degenerated: {stats:?}");
+}
+
+#[test]
+fn missing_phase_barrier_is_caught_as_staleness() {
+    let v = explore(&CachePhaseModel::without_phase_barrier())
+        .expect_err("mutating the grid during pricing must be caught");
+    assert!(v.message.contains("stale"), "wrong violation: {v}");
+}
+
+#[test]
+fn late_invalidation_is_caught_as_a_stale_cache_hit() {
+    let v = explore(&CachePhaseModel::with_late_invalidation())
+        .expect_err("off-by-one epoch invalidation must be caught");
+    assert!(
+        v.message.contains("stale cache hit"),
+        "wrong violation: {v}"
+    );
+}
+
+/// The acceptance-criterion model: the two-thread work-steal + cache
+/// composition exhausts in well under 30 seconds.
+#[test]
+fn composed_steal_price_model_exhausts_quickly_and_passes() {
+    let t0 = Instant::now();
+    let stats = explore(&StealPriceModel::new(3, 2)).unwrap_or_else(|v| panic!("{v}"));
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 30,
+        "exploration took {elapsed:?}, budget is 30s"
+    );
+    assert!(stats.terminals > 50, "exploration degenerated: {stats:?}");
+}

@@ -1,0 +1,145 @@
+//! Fixture-based self-tests: every rule must fire on its failing
+//! snippet, stay silent on its passing snippet (including the annotated
+//! suppression cases inside), and malformed suppressions must be
+//! findings of their own.
+
+use crp_lint::{lint_file, FileScope, Rule};
+
+fn lint_fixture(name: &str, scope: FileScope) -> Vec<crp_lint::Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_file(name, &src, scope)
+}
+
+const FLOW: FileScope = FileScope {
+    flow: true,
+    crate_root: false,
+};
+
+const ROOT: FileScope = FileScope {
+    flow: false,
+    crate_root: true,
+};
+
+fn rules_fired(diags: &[crp_lint::Diagnostic]) -> Vec<Rule> {
+    let mut r: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+    r.dedup();
+    r
+}
+
+#[test]
+fn nondet_iter_fires_on_every_iteration_form() {
+    let d = lint_fixture("nondet_iter_fail.rs", FLOW);
+    assert!(
+        d.iter().all(|d| d.rule == Rule::NondetIter),
+        "unexpected rules: {d:?}"
+    );
+    // keys(), iter(), the for-loop over a field, and into_iter() on an
+    // untyped init: four distinct sites.
+    assert_eq!(d.len(), 4, "wrong sites: {d:?}");
+}
+
+#[test]
+fn nondet_iter_passes_keyed_lookups_btrees_wrappers_and_annotations() {
+    let d = lint_fixture("nondet_iter_pass.rs", FLOW);
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn atomics_fires_on_unjustified_relaxed_and_seqcst() {
+    let d = lint_fixture("atomics_fail.rs", FLOW);
+    assert_eq!(rules_fired(&d), vec![Rule::AtomicsJustified]);
+    assert_eq!(d.len(), 2, "Relaxed and SeqCst sites: {d:?}");
+}
+
+#[test]
+fn atomics_passes_justified_and_self_documenting_orderings() {
+    let d = lint_fixture("atomics_pass.rs", FLOW);
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn no_panic_fires_on_unwrap_expect_and_panic_macros() {
+    let d = lint_fixture("no_panic_fail.rs", FLOW);
+    assert!(d.iter().all(|d| d.rule == Rule::NoPanicPaths));
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented!.
+    assert_eq!(d.len(), 6, "wrong sites: {d:?}");
+}
+
+#[test]
+fn no_panic_passes_results_tests_parser_expect_and_annotations() {
+    let d = lint_fixture("no_panic_pass.rs", FLOW);
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn no_panic_is_scoped_to_flow_code() {
+    let d = lint_fixture(
+        "no_panic_fail.rs",
+        FileScope {
+            flow: false,
+            crate_root: false,
+        },
+    );
+    assert!(d.is_empty(), "non-flow files must not be panic-checked");
+}
+
+#[test]
+fn forbid_unsafe_fires_on_a_bare_crate_root() {
+    let d = lint_fixture("unsafe_fail.rs", ROOT);
+    assert_eq!(rules_fired(&d), vec![Rule::ForbidUnsafe]);
+}
+
+#[test]
+fn forbid_unsafe_passes_a_forbidding_crate_root() {
+    let d = lint_fixture("unsafe_pass.rs", ROOT);
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn cast_truncation_fires_on_narrowing_casts() {
+    let d = lint_fixture("cast_fail.rs", FLOW);
+    assert!(d.iter().all(|d| d.rule == Rule::CastTruncation));
+    // x as u16, y as u16, i as u32.
+    assert_eq!(d.len(), 3, "wrong sites: {d:?}");
+}
+
+#[test]
+fn cast_truncation_passes_try_from_widening_and_annotated() {
+    let d = lint_fixture("cast_pass.rs", FLOW);
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn malformed_suppressions_are_findings() {
+    let d = lint_fixture("bad_suppression.rs", FLOW);
+    let bad: Vec<_> = d
+        .iter()
+        .filter(|d| d.rule == Rule::BadSuppression)
+        .collect();
+    assert_eq!(bad.len(), 2, "missing-reason and unknown-rule: {d:?}");
+    // The reasonless allow must also NOT suppress the unwrap under it.
+    assert!(
+        d.iter().any(|d| d.rule == Rule::NoPanicPaths),
+        "reasonless allow suppressed the finding: {d:?}"
+    );
+}
+
+/// The gate the CI job enforces: the workspace's own tree is clean.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let diags = crp_lint::lint_workspace(root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -6,7 +6,7 @@ use crate::route::{net_pin_nodes, NetRoute, Routing};
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{net_hpwl, Design, NetId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Tunables of the global router.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ impl Default for RouterConfig {
 #[derive(Debug, Clone)]
 pub struct GlobalRouter {
     config: RouterConfig,
-    history: HashMap<Edge, f64>,
+    history: BTreeMap<Edge, f64>,
 }
 
 impl GlobalRouter {
@@ -62,7 +62,7 @@ impl GlobalRouter {
     pub fn new(config: RouterConfig) -> GlobalRouter {
         GlobalRouter {
             config,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -130,7 +130,7 @@ impl GlobalRouter {
             .map(|n| (n, routing.routes[n.index()].cost(grid)))
             .collect();
         order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        let empty = HashMap::new();
+        let empty = BTreeMap::new();
         let mut improved = false;
         for (net, _) in order {
             let old = std::mem::take(&mut routing.routes[net.index()]);
@@ -204,7 +204,7 @@ impl GlobalRouter {
     ) {
         routing.routes[net.index()].uncommit(grid);
         let pins = pin_nodes(design, grid, net);
-        let route = pattern_route_tree(grid, &pins, &HashMap::new(), 0.0);
+        let route = pattern_route_tree(grid, &pins, &BTreeMap::new(), 0.0);
         route.commit(grid);
         routing.routes[net.index()] = route;
     }
@@ -250,6 +250,8 @@ impl GlobalRouter {
                 &self.history,
                 self.config.hist_weight,
             )?;
+            // crp-lint: allow(no-panic-paths, maze_route returns None instead
+            // of an empty path; a Some path always ends at a reached target)
             let reached = *path.last().expect("path is never empty");
             let fragment = path_to_route(&path);
             // Absorb the fragment's nodes into the component.

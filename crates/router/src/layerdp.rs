@@ -18,7 +18,7 @@ use crate::pattern::PinNode;
 use crate::route::{NetRoute, RouteSeg, ViaStack};
 use crp_geom::Axis;
 use crp_grid::{Edge, RouteGrid};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Re-assigns the layers of `route`'s segments with a joint tree DP and
 /// rebuilds the via stacks. Pin layers are respected (each pin's gcell
@@ -37,7 +37,7 @@ pub fn reassign_layers(grid: &RouteGrid, route: &NetRoute, pins: &[PinNode]) -> 
     let n = segs.len();
 
     // --- adjacency: segments sharing an endpoint gcell -----------------------
-    let mut by_endpoint: HashMap<(u16, u16), Vec<usize>> = HashMap::new();
+    let mut by_endpoint: BTreeMap<(u16, u16), Vec<usize>> = BTreeMap::new();
     for (i, s) in segs.iter().enumerate() {
         by_endpoint.entry(s.from).or_default().push(i);
         by_endpoint.entry(s.to).or_default().push(i);
@@ -114,8 +114,8 @@ pub fn reassign_layers(grid: &RouteGrid, route: &NetRoute, pins: &[PinNode]) -> 
         total
     };
 
-    let mut cost: Vec<HashMap<u16, f64>> = vec![HashMap::new(); n];
-    let mut choice: Vec<HashMap<u16, Vec<(usize, u16)>>> = vec![HashMap::new(); n];
+    let mut cost: Vec<BTreeMap<u16, f64>> = vec![BTreeMap::new(); n];
+    let mut choice: Vec<BTreeMap<u16, Vec<(usize, u16)>>> = vec![BTreeMap::new(); n];
     for &u in order.iter().rev() {
         let children: Vec<(usize, (u16, u16))> = (0..n)
             .filter_map(|v| match parent[v] {
@@ -196,7 +196,7 @@ pub fn reassign_layers(grid: &RouteGrid, route: &NetRoute, pins: &[PinNode]) -> 
 /// Via stacks connecting all segment endpoints and pin layers per gcell
 /// (same construction as the pattern router's).
 fn rebuild_stacks(segs: &[RouteSeg], pins: &[PinNode]) -> Vec<ViaStack> {
-    let mut layers_at: HashMap<(u16, u16), (u16, u16)> = HashMap::new();
+    let mut layers_at: BTreeMap<(u16, u16), (u16, u16)> = BTreeMap::new();
     let mut note = |x: u16, y: u16, l: u16| {
         let e = layers_at.entry((x, y)).or_insert((l, l));
         e.0 = e.0.min(l);
@@ -253,7 +253,7 @@ mod tests {
             ],
         ];
         for pins in cases {
-            let greedy = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+            let greedy = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
             let dp = reassign_layers(&g, &greedy, &pins);
             let nodes: Vec<(u16, u16, u16)> = pins.iter().map(|p| (p.x, p.y, p.layer)).collect();
             assert!(dp.connects(&nodes), "DP broke connectivity for {pins:?}");
@@ -270,7 +270,7 @@ mod tests {
     fn dp_preserves_2d_geometry() {
         let g = grid();
         let pins = vec![PinNode::new(2, 2, 0), PinNode::new(9, 7, 0)];
-        let greedy = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let greedy = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         let dp = reassign_layers(&g, &greedy, &pins);
         let planar = |r: &NetRoute| {
             let mut v: Vec<((u16, u16), (u16, u16))> =
@@ -313,7 +313,7 @@ mod tests {
             PinNode::new(4, 9, 0),
             PinNode::new(8, 8, 0),
         ];
-        let greedy = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let greedy = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         let dp = reassign_layers(&g, &greedy, &pins);
         let nodes: Vec<(u16, u16, u16)> = pins.iter().map(|p| (p.x, p.y, p.layer)).collect();
         assert!(dp.connects(&nodes));

@@ -9,7 +9,7 @@ use crate::route::{NetRoute, RouteSeg, ViaStack};
 use crp_geom::Axis;
 use crp_grid::{Edge, RouteGrid};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A search node: `(x, y, layer)`.
 type Node = (u16, u16, u16);
@@ -50,7 +50,7 @@ pub fn maze_route(
     grid: &RouteGrid,
     sources: &[Node],
     targets: &[Node],
-    history: &HashMap<Edge, f64>,
+    history: &BTreeMap<Edge, f64>,
     hist_weight: f64,
 ) -> Option<Vec<Node>> {
     if sources.is_empty() || targets.is_empty() {
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn finds_path_between_m1_pins() {
         let g = grid();
-        let path = maze_route(&g, &[(0, 0, 0)], &[(5, 5, 0)], &HashMap::new(), 0.0).unwrap();
+        let path = maze_route(&g, &[(0, 0, 0)], &[(5, 5, 0)], &BTreeMap::new(), 0.0).unwrap();
         assert_eq!(path.first(), Some(&(0, 0, 0)));
         assert_eq!(path.last(), Some(&(5, 5, 0)));
         // Steps are unit moves.
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn path_converts_to_connected_route() {
         let g = grid();
-        let path = maze_route(&g, &[(0, 0, 0)], &[(7, 3, 0)], &HashMap::new(), 0.0).unwrap();
+        let path = maze_route(&g, &[(0, 0, 0)], &[(7, 3, 0)], &BTreeMap::new(), 0.0).unwrap();
         let route = path_to_route(&path);
         assert!(route.connects(&[(0, 0, 0), (7, 3, 0)]));
         assert!(route.wirelength() >= 10);
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn same_node_is_empty_path() {
         let g = grid();
-        let path = maze_route(&g, &[(3, 3, 0)], &[(3, 3, 0)], &HashMap::new(), 0.0).unwrap();
+        let path = maze_route(&g, &[(3, 3, 0)], &[(3, 3, 0)], &BTreeMap::new(), 0.0).unwrap();
         assert_eq!(path, vec![(3, 3, 0)]);
         assert!(path_to_route(&path).is_empty());
     }
@@ -252,18 +252,18 @@ mod tests {
     #[test]
     fn empty_sources_or_targets_none() {
         let g = grid();
-        assert!(maze_route(&g, &[], &[(0, 0, 0)], &HashMap::new(), 0.0).is_none());
-        assert!(maze_route(&g, &[(0, 0, 0)], &[], &HashMap::new(), 0.0).is_none());
+        assert!(maze_route(&g, &[], &[(0, 0, 0)], &BTreeMap::new(), 0.0).is_none());
+        assert!(maze_route(&g, &[(0, 0, 0)], &[], &BTreeMap::new(), 0.0).is_none());
     }
 
     #[test]
     fn history_diverts_path() {
         let g = grid();
         // Free route from (0,5) to (9,5): straight along row 5.
-        let free = maze_route(&g, &[(0, 5, 0)], &[(9, 5, 0)], &HashMap::new(), 0.0).unwrap();
+        let free = maze_route(&g, &[(0, 5, 0)], &[(9, 5, 0)], &BTreeMap::new(), 0.0).unwrap();
         let free_route = path_to_route(&free);
         // Now poison row 5 on every X layer.
-        let mut hist = HashMap::new();
+        let mut hist = BTreeMap::new();
         for l in 0..9u16 {
             for x in 0..9 {
                 hist.insert(Edge::planar(l, x, 5), 50.0);
@@ -287,7 +287,7 @@ mod tests {
             &g,
             &[(0, 0, 1), (8, 8, 1)],
             &[(9, 9, 1)],
-            &HashMap::new(),
+            &BTreeMap::new(),
             0.0,
         )
         .unwrap();

@@ -13,7 +13,7 @@ use crate::route::{NetRoute, RouteSeg, ViaStack};
 use crp_geom::{Axis, Point};
 use crp_grid::{Edge, RouteGrid};
 use crp_rsmt::rsmt;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A net terminal in gcell space: `(x, y)` gcell plus pin layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,10 +37,10 @@ impl PinNode {
 /// Extra per-edge cost (PathFinder-style history), optional.
 pub(crate) struct CostCtx<'a> {
     pub grid: &'a RouteGrid,
-    pub history: Option<&'a HashMap<Edge, f64>>,
+    pub history: Option<&'a BTreeMap<Edge, f64>>,
     pub hist_weight: f64,
     /// Per-edge demand adjustment (CR&P self-usage discount), optional.
-    pub discount: Option<&'a HashMap<Edge, f64>>,
+    pub discount: Option<&'a BTreeMap<Edge, f64>>,
     /// Tiny per-layer bias so equal-cost ties prefer lower layers.
     pub layer_bias: f64,
 }
@@ -58,7 +58,7 @@ impl<'a> CostCtx<'a> {
 
     pub(crate) fn with_history(
         grid: &'a RouteGrid,
-        history: &'a HashMap<Edge, f64>,
+        history: &'a BTreeMap<Edge, f64>,
         hist_weight: f64,
     ) -> CostCtx<'a> {
         CostCtx {
@@ -72,7 +72,7 @@ impl<'a> CostCtx<'a> {
 
     pub(crate) fn with_discount(
         grid: &'a RouteGrid,
-        discount: &'a HashMap<Edge, f64>,
+        discount: &'a BTreeMap<Edge, f64>,
     ) -> CostCtx<'a> {
         CostCtx {
             grid,
@@ -219,6 +219,8 @@ fn assign_layer(ctx: &CostCtx<'_>, seg: Seg2) -> RouteSeg {
             best_layer = Some(l);
         }
     }
+    // crp-lint: allow(no-panic-paths, RouteGrid construction guarantees at
+    // least one routable layer per axis, so the loop always finds a layer)
     let layer = best_layer.expect("no routable layer matches segment axis");
     RouteSeg::new(layer, seg.a, seg.b)
 }
@@ -226,7 +228,7 @@ fn assign_layer(ctx: &CostCtx<'_>, seg: Seg2) -> RouteSeg {
 /// Builds via stacks that connect all segment endpoints (and pin layers)
 /// at each junction gcell.
 fn build_via_stacks(segs: &[RouteSeg], pins: &[PinNode]) -> Vec<ViaStack> {
-    let mut layers_at: HashMap<(u16, u16), (u16, u16)> = HashMap::new();
+    let mut layers_at: BTreeMap<(u16, u16), (u16, u16)> = BTreeMap::new();
     let mut note = |x: u16, y: u16, l: u16| {
         let e = layers_at.entry((x, y)).or_insert((l, l));
         e.0 = e.0.min(l);
@@ -256,7 +258,7 @@ fn build_via_stacks(segs: &[RouteSeg], pins: &[PinNode]) -> Vec<ViaStack> {
 pub fn pattern_route_tree(
     grid: &RouteGrid,
     pins: &[PinNode],
-    history: &HashMap<Edge, f64>,
+    history: &BTreeMap<Edge, f64>,
     hist_weight: f64,
 ) -> NetRoute {
     let ctx = if history.is_empty() {
@@ -280,6 +282,8 @@ pub(crate) fn route_with_ctx(ctx: &CostCtx<'_>, pins: &[PinNode]) -> NetRoute {
         .collect();
     let tree = rsmt(&terminals);
 
+    // crp-lint: allow(cast-truncation, tree points lie on the Hanan grid of
+    // the terminals, whose coordinates started as u16 two lines up)
     let as_gcell = |p: Point| -> (u16, u16) { (p.x as u16, p.y as u16) };
 
     let mut segs: Vec<RouteSeg> = Vec::new();
@@ -332,7 +336,7 @@ pub fn price_net(grid: &RouteGrid, pins: &[PinNode]) -> f64 {
 pub fn price_net_discounted(
     grid: &RouteGrid,
     pins: &[PinNode],
-    discount: &HashMap<Edge, f64>,
+    discount: &BTreeMap<Edge, f64>,
 ) -> f64 {
     let ctx = CostCtx::with_discount(grid, discount);
     let route = route_with_ctx(&ctx, pins);
@@ -352,7 +356,7 @@ pub fn price_net_discounted(
 pub fn pattern_route_tree_discounted(
     grid: &RouteGrid,
     pins: &[PinNode],
-    discount: &HashMap<Edge, f64>,
+    discount: &BTreeMap<Edge, f64>,
 ) -> NetRoute {
     let ctx = CostCtx::with_discount(grid, discount);
     route_with_ctx(&ctx, pins)
@@ -382,7 +386,7 @@ mod tests {
     fn straight_connection_is_single_segment() {
         let g = grid();
         let pins = [PinNode::new(2, 3, 0), PinNode::new(8, 3, 0)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         assert_eq!(r.segs.len(), 1);
         assert!(r.segs[0].is_horizontal());
         assert_eq!(r.wirelength(), 6);
@@ -394,7 +398,7 @@ mod tests {
     fn l_connection_connects_and_uses_two_segments() {
         let g = grid();
         let pins = [PinNode::new(1, 1, 0), PinNode::new(6, 9, 0)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         assert!(r.connects(&[(1, 1, 0), (6, 9, 0)]));
         assert_eq!(r.wirelength(), 5 + 8);
         assert!(r.via_count() >= 2, "pins must via up from M1");
@@ -409,7 +413,7 @@ mod tests {
             PinNode::new(5, 9, 0),
             PinNode::new(12, 12, 0),
         ];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         let nodes: Vec<(u16, u16, u16)> = pins.iter().map(|p| (p.x, p.y, p.layer)).collect();
         assert!(r.connects(&nodes));
     }
@@ -418,7 +422,7 @@ mod tests {
     fn same_gcell_pins_need_no_wiring() {
         let g = grid();
         let pins = [PinNode::new(4, 4, 0), PinNode::new(4, 4, 0)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         assert!(r.is_empty());
     }
 
@@ -426,7 +430,7 @@ mod tests {
     fn pins_on_different_layers_same_gcell_get_stack() {
         let g = grid();
         let pins = [PinNode::new(4, 4, 0), PinNode::new(4, 4, 3)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         assert!(r.segs.is_empty());
         assert_eq!(r.via_count(), 3);
         assert!(r.connects(&[(4, 4, 0), (4, 4, 3)]));
@@ -448,7 +452,7 @@ mod tests {
             }
         }
         let pins = [PinNode::new(1, 1, 0), PinNode::new(8, 8, 0)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         // The chosen route must avoid row 1 horizontals.
         for s in &r.segs {
             if s.is_horizontal() {
@@ -470,7 +474,7 @@ mod tests {
             }
         }
         let pins = [PinNode::new(0, 5, 0), PinNode::new(12, 5, 0)];
-        let r = pattern_route_tree(&g, &pins, &HashMap::new(), 0.0);
+        let r = pattern_route_tree(&g, &pins, &BTreeMap::new(), 0.0);
         assert_eq!(r.segs.len(), 1);
         assert_ne!(
             r.segs[0].layer, 1,
@@ -481,7 +485,7 @@ mod tests {
     #[test]
     fn history_penalty_steers_route() {
         let g = grid();
-        let mut hist = HashMap::new();
+        let mut hist = BTreeMap::new();
         // Penalize the direct row between the pins.
         for x in 2..8 {
             for l in 0..9u16 {
@@ -549,7 +553,7 @@ mod tests {
                 let g = grid();
                 let nodes: Vec<PinNode> =
                     pins.iter().map(|&(x, y, l)| PinNode::new(x, y, l)).collect();
-                let r = pattern_route_tree(&g, &nodes, &HashMap::new(), 0.0);
+                let r = pattern_route_tree(&g, &nodes, &BTreeMap::new(), 0.0);
                 let mut want: Vec<(u16, u16, u16)> =
                     pins.to_vec();
                 want.sort_unstable();
@@ -564,7 +568,7 @@ mod tests {
                 let mut g = grid();
                 let nodes: Vec<PinNode> =
                     pins.iter().map(|&(x, y, l)| PinNode::new(x, y, l)).collect();
-                let r = pattern_route_tree(&g, &nodes, &HashMap::new(), 0.0);
+                let r = pattern_route_tree(&g, &nodes, &BTreeMap::new(), 0.0);
                 let wire_before = g.total_wire_usage();
                 let via_before = g.total_via_endpoints();
                 r.commit(&mut g);
@@ -580,7 +584,7 @@ mod tests {
                 let g = grid();
                 let nodes: Vec<PinNode> =
                     pins.iter().map(|&(x, y, l)| PinNode::new(x, y, l)).collect();
-                let r = pattern_route_tree(&g, &nodes, &HashMap::new(), 0.0);
+                let r = pattern_route_tree(&g, &nodes, &BTreeMap::new(), 0.0);
                 let p = price_net(&g, &nodes);
                 prop_assert!((p - r.cost(&g)).abs() < 1e-9);
             }

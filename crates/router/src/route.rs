@@ -3,7 +3,7 @@
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// An axis-aligned straight wire on one layer, spanning whole gcells.
 ///
@@ -219,7 +219,7 @@ impl NetRoute {
         // segment edge; vias connect vertically. Simplest correct check:
         // two nodes are adjacent if they differ by one step and the
         // connecting edge is covered by a segment or stack.
-        let mut edge_set: HashSet<Edge> = HashSet::new();
+        let mut edge_set: BTreeSet<Edge> = BTreeSet::new();
         for seg in &self.segs {
             edge_set.extend(seg.edges());
         }
@@ -271,7 +271,7 @@ impl NetRoute {
         self.segs.retain(|s| !s.is_empty());
         self.segs.sort_unstable();
         self.segs.dedup();
-        let mut stacks: HashMap<(u16, u16), (u16, u16)> = HashMap::new();
+        let mut stacks: BTreeMap<(u16, u16), (u16, u16)> = BTreeMap::new();
         for v in &self.vias {
             if v.hi > v.lo {
                 let e = stacks.entry((v.x, v.y)).or_insert((v.lo, v.hi));
@@ -350,6 +350,8 @@ pub fn net_pin_nodes(design: &Design, grid: &RouteGrid, net: NetId) -> Vec<(u16,
         .iter()
         .map(|&p| {
             let (x, y) = grid.gcell_of(design.pin_position(p));
+            // crp-lint: allow(no-panic-paths, layer counts are validated to
+            // fit u16 when the grid is built from the same design)
             let layer = u16::try_from(design.pin_layer(p)).expect("layer out of range");
             (x, y, layer)
         })

@@ -148,12 +148,16 @@ pub fn mst(terminals: &[Point]) -> SteinerTree {
                 }
             }
             in_tree[next] = true;
+            // crp-lint: allow(cast-truncation, next indexes the terminal
+            // list; net degrees are far below u32::MAX)
             edges.push((best_link[next], next as u32));
             for i in 0..n {
                 if !in_tree[i] {
                     let d = points[next].manhattan(points[i]);
                     if d < best_dist[i] {
                         best_dist[i] = d;
+                        // crp-lint: allow(cast-truncation, same bound as the
+                        // annotated cast above)
                         best_link[i] = next as u32;
                     }
                 }
@@ -236,6 +240,8 @@ pub fn rsmt(terminals: &[Point]) -> SteinerTree {
         match best {
             None => break,
             Some((v, e1, e2, s)) => {
+                // crp-lint: allow(cast-truncation, one Steiner point is
+                // added per terminal at most; counts stay far below u32::MAX)
                 let si = tree.points.len() as u32;
                 tree.points.push(s);
                 let other = |e: usize| {
@@ -249,6 +255,8 @@ pub fn rsmt(terminals: &[Point]) -> SteinerTree {
                 let (a, b) = (other(e1), other(e2));
                 tree.edges[e1] = (si, a);
                 tree.edges[e2] = (si, b);
+                // crp-lint: allow(cast-truncation, v indexes tree.points,
+                // bounded like si above)
                 tree.edges.push((v as u32, si));
             }
         }
