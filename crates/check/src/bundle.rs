@@ -8,11 +8,47 @@ use crp_router::Routing;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide override of the bundle base directory, set by
+/// [`set_bundle_dir`]. `None` falls through to the `CRP_BUNDLE_DIR`
+/// environment variable, then the system temp dir.
+static BUNDLE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Overrides where [`fail_with_bundle`] writes its diagnostic bundles
+/// (pass `None` to fall back to `CRP_BUNDLE_DIR` / the system temp dir).
+///
+/// Long-lived hosts (the `crpd` daemon) point this at a collectable
+/// per-deployment directory so a crashing job's bundle survives next to
+/// the job's own artifacts instead of vanishing into `/tmp`.
+pub fn set_bundle_dir(dir: Option<PathBuf>) {
+    // A poisoned lock only means another thread panicked mid-update of
+    // this Option; overwriting it is exactly what we want.
+    let mut slot = BUNDLE_DIR
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = dir;
+}
+
+/// The base directory diagnostic bundles are written under, resolved in
+/// priority order: [`set_bundle_dir`] override, then the
+/// `CRP_BUNDLE_DIR` environment variable, then the system temp dir.
+#[must_use]
+pub fn bundle_dir() -> PathBuf {
+    let configured = BUNDLE_DIR
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    configured
+        .or_else(|| std::env::var_os("CRP_BUNDLE_DIR").map(PathBuf::from))
+        .unwrap_or_else(std::env::temp_dir)
+}
 
 /// Writes a diagnostic bundle (LEF + DEF + route guides) for the failing
-/// state into a fresh directory under the system temp dir and panics
-/// with a message naming the `phase`, every violation, and the bundle
-/// path. Never returns.
+/// state into a fresh directory under [`bundle_dir`] (the system temp
+/// dir unless `CRP_BUNDLE_DIR` or [`set_bundle_dir`] redirects it) and
+/// panics with a message naming the `phase`, every violation, and the
+/// bundle path. Never returns.
 ///
 /// The bundle is exactly what the flow's interchange tools consume, so a
 /// failure can be replayed: `parse_lef` + `parse_def` restore the
@@ -34,7 +70,7 @@ pub fn fail_with_bundle(
     // name, and the fetch_add RMW guarantees it on its own; nothing else
     // synchronizes through this counter, so Relaxed is sufficient.
     let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
-    let dir: PathBuf = std::env::temp_dir().join(format!(
+    let dir: PathBuf = bundle_dir().join(format!(
         "crp-check-{}-{}-{seq}",
         design.name,
         std::process::id()
@@ -70,6 +106,18 @@ mod tests {
     use crp_grid::GridConfig;
     use crp_netlist::{CellId, DesignBuilder, MacroCell};
     use crp_router::{GlobalRouter, RouterConfig};
+
+    #[test]
+    fn bundle_dir_override_wins_over_default() {
+        // Note: set_bundle_dir state is process-global; restore it before
+        // returning so parallel tests see the default again.
+        let want = std::env::temp_dir().join("crp-bundle-override-test");
+        set_bundle_dir(Some(want.clone()));
+        assert_eq!(bundle_dir(), want);
+        set_bundle_dir(None);
+        // Without an override the dir is env-or-temp; both are absolute.
+        assert!(bundle_dir().is_absolute());
+    }
 
     #[test]
     fn panics_with_phase_violations_and_bundle_path() {

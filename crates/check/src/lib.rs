@@ -44,7 +44,7 @@ mod placement;
 mod routing;
 mod violation;
 
-pub use bundle::fail_with_bundle;
+pub use bundle::{bundle_dir, fail_with_bundle, set_bundle_dir};
 pub use placement::{
     check_claims, check_critical_set, check_placement, check_untouched, fixed_cell_rects,
     PlacementSnapshot,

@@ -7,14 +7,13 @@ use crate::label::label_critical_cells;
 use crate::legalizer::Legalizer;
 use crate::parallel::run_indexed;
 use crate::price_cache::PriceCache;
+use crate::replay_rng::ReplayRng;
 use crate::select::select_candidates;
 use crate::timers::StageTimers;
 use crp_check::{CheckViolation, PlacementSnapshot};
 use crp_grid::RouteGrid;
 use crp_netlist::{CellId, Design, NetId, RowMap};
 use crp_router::{GlobalRouter, Routing};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -38,6 +37,31 @@ pub struct IterationReport {
     pub cost_after: f64,
 }
 
+/// The complete resumable state of a [`Crp`] engine between iterations:
+/// everything `run_iteration` reads besides the design/grid/routing
+/// triple. Captured by [`Crp::snapshot`] and revived by [`Crp::restore`];
+/// a restored engine continues the flow **bit-identically** to one that
+/// was never interrupted (the price cache is deliberately excluded — it
+/// is a pure memo and rebuilding it can only change timings, never
+/// results).
+///
+/// The history sets are stored sorted so the snapshot itself is a
+/// canonical, byte-stable value (checkpoint files diff cleanly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowState {
+    /// Seed of the labeling RNG stream.
+    pub rng_seed: u64,
+    /// `u64`s drawn from that stream so far (see
+    /// [`ReplayRng`](crate::ReplayRng)).
+    pub rng_draws: u64,
+    /// Cells ever labeled critical (`hist_c`), ascending.
+    pub critical_hist: Vec<CellId>,
+    /// Cells ever moved (`hist_m`), ascending.
+    pub moved_set: Vec<CellId>,
+    /// Accumulated stage timers at snapshot time.
+    pub timers: StageTimers,
+}
+
 /// The CR&P engine: owns the iteration history (`hist_c` / `hist_m` sets)
 /// and the stage timers. See the crate docs for the five steps.
 #[derive(Debug)]
@@ -45,7 +69,7 @@ pub struct Crp {
     config: CrpConfig,
     critical_hist: HashSet<CellId>,
     moved_set: HashSet<CellId>,
-    rng: StdRng,
+    rng: ReplayRng,
     /// Per-net price memo, persistent across iterations: entries survive
     /// until the congestion under them changes (epoch invalidation), so
     /// later iterations re-price only the nets the flow actually touched.
@@ -62,9 +86,49 @@ impl Crp {
             config,
             critical_hist: HashSet::new(),
             moved_set: HashSet::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: ReplayRng::new(config.seed),
             cache: PriceCache::new(),
             timers: StageTimers::default(),
+        }
+    }
+
+    /// Captures the engine's resumable state (see [`FlowState`]).
+    #[must_use]
+    pub fn snapshot(&self) -> FlowState {
+        // crp-lint: allow(nondet-iter, sorted on the next line before any use)
+        let mut critical_hist: Vec<CellId> = self.critical_hist.iter().copied().collect();
+        critical_hist.sort_unstable();
+        // crp-lint: allow(nondet-iter, sorted on the next line before any use)
+        let mut moved_set: Vec<CellId> = self.moved_set.iter().copied().collect();
+        moved_set.sort_unstable();
+        FlowState {
+            rng_seed: self.rng.seed(),
+            rng_draws: self.rng.draws(),
+            critical_hist,
+            moved_set,
+            timers: self.timers,
+        }
+    }
+
+    /// Revives an engine from a [`snapshot`](Crp::snapshot), continuing
+    /// the flow exactly where the snapshotted engine stood. The RNG
+    /// stream resumes from the snapshot's `(seed, draws)` state — the
+    /// snapshot's seed wins over `config.seed`, so a restored run stays
+    /// on the stream the original run was using. The price cache starts
+    /// empty (pure memo: identical results, cold first iteration).
+    #[must_use]
+    pub fn restore(config: CrpConfig, state: &FlowState) -> Crp {
+        Crp {
+            config,
+            // crp-lint: allow(nondet-iter, source is a sorted Vec; the rule
+            // matches the field name, not the collection type)
+            critical_hist: state.critical_hist.iter().copied().collect(),
+            // crp-lint: allow(nondet-iter, source is a sorted Vec; the rule
+            // matches the field name, not the collection type)
+            moved_set: state.moved_set.iter().copied().collect(),
+            rng: ReplayRng::replayed(state.rng_seed, state.rng_draws),
+            cache: PriceCache::new(),
+            timers: state.timers,
         }
     }
 
@@ -79,6 +143,12 @@ impl Crp {
     #[must_use]
     pub fn config(&self) -> &CrpConfig {
         &self.config
+    }
+
+    /// Accumulated stage timers (including price-cache hit/miss totals).
+    #[must_use]
+    pub fn timers(&self) -> &StageTimers {
+        &self.timers
     }
 
     /// Runs `k` iterations (the paper reports k = 1 and k = 10).

@@ -4,7 +4,6 @@ use crate::config::CrpConfig;
 use crp_grid::RouteGrid;
 use crp_netlist::{CellId, Design};
 use crp_router::Routing;
-use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -30,14 +29,14 @@ pub fn cell_routed_cost(design: &Design, grid: &RouteGrid, routing: &Routing, ce
 ///
 /// Fixed cells are never selected.
 #[must_use]
-pub fn label_critical_cells(
+pub fn label_critical_cells<R: Rng + ?Sized>(
     design: &Design,
     grid: &RouteGrid,
     routing: &Routing,
     config: &CrpConfig,
     critical_hist: &HashSet<CellId>,
     moved_set: &HashSet<CellId>,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> Vec<CellId> {
     // Line 1-3: copy and sort the cell set.
     let mut cells: Vec<CellId> = design
@@ -87,6 +86,7 @@ mod tests {
     use crp_grid::GridConfig;
     use crp_netlist::{DesignBuilder, MacroCell};
     use crp_router::{GlobalRouter, RouterConfig};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn flow() -> (Design, RouteGrid, Routing) {

@@ -57,6 +57,7 @@ mod legalizer;
 mod median_move;
 mod parallel;
 mod price_cache;
+mod replay_rng;
 mod select;
 mod timers;
 
@@ -71,10 +72,11 @@ pub use estimate::{
     check_price_consistency, estimate_candidates, estimate_candidates_cached, price_cell_nets,
     price_cell_nets_with, PriceScratch,
 };
-pub use flow::{Crp, IterationReport};
+pub use flow::{Crp, FlowState, IterationReport};
 pub use label::label_critical_cells;
 pub use legalizer::Legalizer;
 pub use median_move::{MedianMoveOutcome, MedianMover, MedianMoverConfig};
 pub use price_cache::{PriceCache, PriceRegion};
+pub use replay_rng::ReplayRng;
 pub use select::select_candidates;
 pub use timers::StageTimers;

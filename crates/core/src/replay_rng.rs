@@ -1,0 +1,116 @@
+//! A checkpointable RNG: a counting wrapper over the workspace generator.
+//!
+//! The flow's only nondeterministic-looking input is the labeling
+//! acceptance draw (Algorithm 1), which consumes an `StdRng` stream.
+//! Checkpoint/resume needs that stream to continue *exactly* where it
+//! stopped, but the underlying generator does not expose its internal
+//! state. Every `rand` draw in this workspace bottoms out in
+//! [`RngCore::next_u64`] (including the rejection loop of `gen_range`),
+//! so counting `next_u64` calls captures the complete generator state:
+//! replaying `draws` calls from the same seed reproduces the stream
+//! bit-for-bit, at a cost linear in the number of draws ever made
+//! (a few per labeled cell per iteration — microseconds in practice).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic generator whose state is `(seed, draws)`: the seed it
+/// was created from and the number of `u64`s drawn so far.
+///
+/// Implements [`RngCore`], so the whole [`rand::Rng`] surface
+/// (`gen`, `gen_range`, `gen_bool`) is available on it.
+#[derive(Debug, Clone)]
+pub struct ReplayRng {
+    seed: u64,
+    draws: u64,
+    inner: StdRng,
+}
+
+impl ReplayRng {
+    /// A fresh generator seeded with `seed`, zero draws consumed.
+    #[must_use]
+    pub fn new(seed: u64) -> ReplayRng {
+        ReplayRng {
+            seed,
+            draws: 0,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reconstructs the generator state `(seed, draws)`: seeds a fresh
+    /// stream and discards the first `draws` values, leaving the
+    /// generator exactly where a live one that made `draws` draws stands.
+    #[must_use]
+    pub fn replayed(seed: u64, draws: u64) -> ReplayRng {
+        let mut rng = ReplayRng::new(seed);
+        for _ in 0..draws {
+            let _ = rng.next_u64();
+        }
+        rng
+    }
+
+    /// The seed this stream started from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many `u64`s have been drawn since seeding. Together with
+    /// [`seed`](ReplayRng::seed) this is the full generator state.
+    #[must_use]
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl RngCore for ReplayRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn counts_draws() {
+        let mut rng = ReplayRng::new(7);
+        assert_eq!(rng.draws(), 0);
+        let _: f64 = rng.gen();
+        let _ = rng.gen_range(0..10usize);
+        assert!(rng.draws() >= 2, "gen_range draws at least once");
+        assert_eq!(rng.seed(), 7);
+    }
+
+    #[test]
+    fn replay_continues_the_stream_exactly() {
+        let mut live = ReplayRng::new(0xC0DE);
+        let prefix: Vec<u64> = (0..57).map(|_| live.next_u64()).collect();
+        let mut resumed = ReplayRng::replayed(live.seed(), live.draws());
+        assert_eq!(resumed.draws(), live.draws());
+        for i in 0..100 {
+            assert_eq!(resumed.next_u64(), live.next_u64(), "diverged at {i}");
+        }
+        drop(prefix);
+    }
+
+    #[test]
+    fn matches_plain_stdrng_stream() {
+        use rand::SeedableRng;
+        let mut plain = StdRng::seed_from_u64(99);
+        let mut wrapped = ReplayRng::new(99);
+        for _ in 0..32 {
+            assert_eq!(plain.next_u64(), wrapped.next_u64());
+        }
+    }
+
+    #[test]
+    fn replay_of_zero_draws_is_fresh() {
+        let mut a = ReplayRng::new(3);
+        let mut b = ReplayRng::replayed(3, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -77,6 +77,36 @@ impl StageTimers {
         s
     }
 
+    /// Machine-readable export: one flat JSON object with every stage in
+    /// integer nanoseconds plus the price-cache hit/miss counters —
+    /// exactly the payload the `crpd` `status`/`watch` endpoints embed.
+    /// Hand-rolled (the workspace vendors a stub `serde`); all values are
+    /// integers except `ecc_cache_hit_rate`, which is `null` when no
+    /// cached lookup was made.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rate = self
+            .ecc_cache_hit_rate()
+            .map_or_else(|| "null".to_string(), |r| format!("{r}"));
+        format!(
+            concat!(
+                "{{\"label_ns\":{},\"gcp_ns\":{},\"ecc_ns\":{},",
+                "\"select_ns\":{},\"update_ns\":{},\"total_ns\":{},",
+                "\"ecc_cache_hits\":{},\"ecc_cache_misses\":{},",
+                "\"ecc_cache_hit_rate\":{}}}"
+            ),
+            self.label.as_nanos(),
+            self.gcp.as_nanos(),
+            self.ecc.as_nanos(),
+            self.select.as_nanos(),
+            self.update.as_nanos(),
+            self.total().as_nanos(),
+            self.ecc_cache_hits,
+            self.ecc_cache_misses,
+            rate,
+        )
+    }
+
     /// Percentage breakdown `(gcp, ecc, ud, misc)` of the total, for the
     /// Figure-3 bars. Returns zeros when nothing was timed.
     #[must_use]
@@ -135,6 +165,28 @@ mod tests {
     #[test]
     fn empty_breakdown_is_zero() {
         assert_eq!(StageTimers::default().breakdown_pct(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn json_export_is_flat_and_integer_valued() {
+        let t = StageTimers {
+            label: Duration::from_nanos(10),
+            gcp: Duration::from_nanos(20),
+            ecc: Duration::from_nanos(30),
+            select: Duration::from_nanos(5),
+            update: Duration::from_nanos(35),
+            ecc_cache_hits: 3,
+            ecc_cache_misses: 1,
+        };
+        let json = t.to_json();
+        assert!(json.contains("\"gcp_ns\":20"), "{json}");
+        assert!(json.contains("\"total_ns\":100"), "{json}");
+        assert!(json.contains("\"ecc_cache_hits\":3"), "{json}");
+        assert!(json.contains("\"ecc_cache_hit_rate\":0.75"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+
+        let empty = StageTimers::default().to_json();
+        assert!(empty.contains("\"ecc_cache_hit_rate\":null"), "{empty}");
     }
 
     #[test]

@@ -405,6 +405,17 @@ impl RouteGrid {
         false
     }
 
+    /// Advances the congestion epoch to at least `epoch` (no-op when the
+    /// counter is already past it). Checkpoint restore uses this after
+    /// recommitting the saved routes onto a fresh grid: demand counters
+    /// are a pure function of the committed routes, but the epoch counter
+    /// also encodes history, and resuming it past its saved value keeps
+    /// every externally held epoch observation monotonically valid. Touch
+    /// stamps stay `<=` the counter, so stamp invariants are preserved.
+    pub fn fast_forward_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
     fn touch(&mut self, x: u16, y: u16) {
         self.epoch += 1;
         self.touch2d[usize::from(y) * usize::from(self.nx) + usize::from(x)] = self.epoch;
@@ -807,7 +818,9 @@ mod tests {
     #[test]
     fn region_query_clamps_out_of_range_rects() {
         let mut g = grid();
-        g.add_wire(Edge::planar(1, 19, 18));
+        // The last valid horizontal edge on the 20-wide grid: x=18 spans
+        // gcells (18,19)..(19,19); x=19 would leave the grid.
+        g.add_wire(Edge::planar(1, 18, 19));
         assert!(g.region_touched_since((18, 17), (40, 40), 0));
         assert!(!g.region_touched_since((0, 0), (40, 40), g.epoch()));
     }

@@ -18,6 +18,9 @@ pub const FLOW_PATHS: &[&str] = &[
     "crates/grid/src",
     "crates/ilp/src",
     "crates/rsmt/src",
+    // The daemon replays checkpoints bit-identically; its scheduler and
+    // checkpoint codecs are flow code in the same sense as the engine.
+    "crates/serve/src",
 ];
 
 /// Directory names that are never scanned.

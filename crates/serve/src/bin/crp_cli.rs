@@ -1,0 +1,224 @@
+//! `crp-cli` — client for the `crpd` daemon.
+//!
+//! ```text
+//! crp-cli [--addr 127.0.0.1:7171] <command> [options]
+//!
+//! commands:
+//!   ping
+//!   submit [--profile NAME] [--scale F] [--lef LEF --def DEF]
+//!          [--iterations N] [--threads N] [--priority high|normal]
+//!          [--checkpoint-every N] [--seed N]
+//!   status [ID]
+//!   watch ID [--from N]
+//!   fetch ID [--out DIR]
+//!   cancel ID
+//!   shutdown
+//! ```
+//!
+//! Every command prints the daemon's JSON response (or streamed watch
+//! events) on stdout and exits 0; errors go to stderr with exit 1.
+
+use crp_serve::json::Json;
+use crp_serve::Client;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("crp-cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut rest: &[String] = args;
+    if rest.first().map(String::as_str) == Some("--addr") {
+        addr = rest.get(1).ok_or("--addr needs a value")?.clone();
+        rest = &rest[2..];
+    }
+    let command = rest.first().ok_or("no command; try `crp-cli ping`")?;
+    let rest = &rest[1..];
+    let mut client = Client::connect(&addr).map_err(|e| e.msg)?;
+    match command.as_str() {
+        "ping" => {
+            let v = client.call(&verb("ping")).map_err(|e| e.msg)?;
+            println!("{v}");
+            Ok(())
+        }
+        "submit" => submit(&mut client, rest),
+        "status" => {
+            let mut req = verb("status");
+            if let Some(id) = rest.first() {
+                req = with_id(req, id)?;
+            }
+            let v = client.call(&req).map_err(|e| e.msg)?;
+            println!("{v}");
+            Ok(())
+        }
+        "watch" => watch(&mut client, rest),
+        "fetch" => fetch(&mut client, rest),
+        "cancel" => {
+            let id = rest.first().ok_or("cancel needs a job id")?;
+            let v = client
+                .call(&with_id(verb("cancel"), id)?)
+                .map_err(|e| e.msg)?;
+            println!("{v}");
+            Ok(())
+        }
+        "shutdown" => {
+            let v = client.call(&verb("shutdown")).map_err(|e| e.msg)?;
+            println!("{v}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn verb(name: &str) -> Json {
+    Json::obj(vec![("verb", Json::str(name))])
+}
+
+fn with_id(v: Json, id: &str) -> Result<Json, String> {
+    let id: u64 = id.parse().map_err(|e| format!("bad job id: {e}"))?;
+    match v {
+        Json::Obj(mut fields) => {
+            fields.push(("id".to_string(), Json::Int(i128::from(id))));
+            Ok(Json::Obj(fields))
+        }
+        other => Ok(other),
+    }
+}
+
+fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
+    let mut profile: Option<String> = None;
+    let mut scale = 100.0_f64;
+    let mut lef: Option<String> = None;
+    let mut def: Option<String> = None;
+    let mut spec_fields: Vec<(String, Json)> = Vec::new();
+    let mut overrides: Vec<(String, Json)> = Vec::new();
+    let mut iterations = 2_i128;
+
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().cloned().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--profile" => profile = Some(value("--profile")?),
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--lef" => lef = Some(value("--lef")?),
+            "--def" => def = Some(value("--def")?),
+            "--iterations" => {
+                iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("bad --iterations: {e}"))?;
+            }
+            "--threads" => {
+                let n: i128 = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                spec_fields.push(("threads".to_string(), Json::Int(n)));
+            }
+            "--priority" => {
+                spec_fields.push(("priority".to_string(), Json::str(&value("--priority")?)));
+            }
+            "--checkpoint-every" => {
+                let n: i128 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                spec_fields.push(("checkpoint_every".to_string(), Json::Int(n)));
+            }
+            "--seed" => {
+                let n: u64 = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+                overrides.push(("seed".to_string(), Json::Int(i128::from(n))));
+            }
+            other => return Err(format!("unknown submit flag `{other}`")),
+        }
+    }
+
+    let workload = match (profile, lef, def) {
+        (Some(name), None, None) => Json::obj(vec![
+            ("profile", Json::str(&name)),
+            ("scale", Json::Float(scale)),
+        ]),
+        (None, Some(lef), Some(def)) => {
+            Json::obj(vec![("lef", Json::str(&lef)), ("def", Json::str(&def))])
+        }
+        (None, None, None) => Json::obj(vec![
+            ("profile", Json::str("ispd18_test1")),
+            ("scale", Json::Float(scale)),
+        ]),
+        _ => return Err("use either --profile or both --lef and --def".to_string()),
+    };
+
+    let mut fields = vec![
+        ("workload".to_string(), workload),
+        ("iterations".to_string(), Json::Int(iterations)),
+    ];
+    fields.extend(spec_fields);
+    if !overrides.is_empty() {
+        fields.push(("overrides".to_string(), Json::Obj(overrides)));
+    }
+    let req = Json::Obj(
+        std::iter::once(("verb".to_string(), Json::str("submit")))
+            .chain(std::iter::once(("spec".to_string(), Json::Obj(fields))))
+            .collect(),
+    );
+    let v = client.call(&req).map_err(|e| e.msg)?;
+    println!("{v}");
+    Ok(())
+}
+
+fn watch(client: &mut Client, rest: &[String]) -> Result<(), String> {
+    let id = rest.first().ok_or("watch needs a job id")?;
+    let mut req = with_id(verb("watch"), id)?;
+    if rest.get(1).map(String::as_str) == Some("--from") {
+        let from: i128 = rest
+            .get(2)
+            .ok_or("--from needs a value")?
+            .parse()
+            .map_err(|e| format!("bad --from: {e}"))?;
+        if let Json::Obj(ref mut fields) = req {
+            fields.push(("from".to_string(), Json::Int(from)));
+        }
+    }
+    client.send(&req).map_err(|e| e.msg)?;
+    loop {
+        let v = client.read_response().map_err(|e| e.msg)?;
+        println!("{v}");
+        if v.get("done").and_then(Json::as_bool) == Some(true) {
+            return Ok(());
+        }
+    }
+}
+
+fn fetch(client: &mut Client, rest: &[String]) -> Result<(), String> {
+    let id = rest.first().ok_or("fetch needs a job id")?;
+    let mut out_dir = ".".to_string();
+    if rest.get(1).map(String::as_str) == Some("--out") {
+        out_dir = rest.get(2).ok_or("--out needs a value")?.clone();
+    }
+    let v = client
+        .call(&with_id(verb("fetch"), id)?)
+        .map_err(|e| e.msg)?;
+    let def = v
+        .get("def")
+        .and_then(Json::as_str)
+        .ok_or("response missing `def`")?;
+    let guide = v
+        .get("guide")
+        .and_then(Json::as_str)
+        .ok_or("response missing `guide`")?;
+    let dir = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let def_path = dir.join(format!("job-{id}.def"));
+    let guide_path = dir.join(format!("job-{id}.guide"));
+    std::fs::write(&def_path, def).map_err(|e| format!("write failed: {e}"))?;
+    std::fs::write(&guide_path, guide).map_err(|e| format!("write failed: {e}"))?;
+    println!("wrote {} and {}", def_path.display(), guide_path.display());
+    Ok(())
+}

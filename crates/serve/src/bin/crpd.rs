@@ -1,0 +1,83 @@
+//! `crpd` — the CR&P batch-optimization daemon.
+//!
+//! ```text
+//! crpd [--addr 127.0.0.1:7171] [--data-dir DIR] [--queue-cap N]
+//!      [--threads N] [--max-running N]
+//! ```
+//!
+//! On startup the daemon recovers every unfinished job found under
+//! `--data-dir` (resuming from checkpoints), binds the address (port 0
+//! picks an ephemeral port), prints `crpd listening on <addr>` on
+//! stdout, and serves until a client sends the `shutdown` verb — which
+//! drains: running jobs are parked `Checkpointed` at their next
+//! iteration boundary and the process exits cleanly.
+
+use crp_serve::scheduler::SchedConfig;
+use crp_serve::{Scheduler, Server};
+use std::path::PathBuf;
+
+struct Args {
+    addr: String,
+    config: SchedConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        config: SchedConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--data-dir" => args.config.data_dir = PathBuf::from(value("--data-dir")?),
+            "--queue-cap" => {
+                args.config.queue_capacity = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap: {e}"))?;
+            }
+            "--threads" => {
+                args.config.total_threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--max-running" => {
+                args.config.max_running = value("--max-running")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-running: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.config.total_threads == 0 || args.config.max_running == 0 {
+        return Err("--threads and --max-running must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    // Invariant-failure bundles land next to the job data so operators
+    // find them without chasing the system temp dir.
+    crp_check::set_bundle_dir(Some(args.config.data_dir.join("bundles")));
+    let scheduler = Scheduler::new(args.config).map_err(|e| e.msg)?;
+    let recovered = scheduler.recover().map_err(|e| e.msg)?;
+    if recovered > 0 {
+        eprintln!("crpd: recovered {recovered} unfinished job(s)");
+    }
+    let server = Server::start(&args.addr, scheduler).map_err(|e| e.msg)?;
+    // Parseable by wrappers and tests (resolves port 0).
+    println!("crpd listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait_for_shutdown();
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("crpd: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,562 @@
+//! Flow checkpoints: the complete resumable state of a job between
+//! iterations.
+//!
+//! A checkpoint captures exactly what [`Crp::run_iteration`] consumes:
+//!
+//! - every movable cell's position and orientation (the placement),
+//! - every net's committed route (segments + via stacks),
+//! - the grid's congestion epoch (demand counters are *not* stored — they
+//!   are a pure function of the committed routes and are rebuilt by
+//!   recommitting, which the invariant oracle's `check_demand_exact`
+//!   guarantees),
+//! - the engine's [`FlowState`] (history sets, RNG `(seed, draws)`,
+//!   accumulated timers),
+//! - the per-iteration reports produced so far.
+//!
+//! Restoring onto the job's base design (regenerated profile or
+//! re-parsed LEF/DEF) yields a flow that continues **bit-identically**:
+//! the RNG stream replays to the exact draw, the history sets reload,
+//! and rerouting depends only on grid state reproduced by recommit.
+//! Checkpoint writes are atomic (temp file + rename), so a crash while
+//! checkpointing leaves the previous checkpoint intact, never a torn one.
+
+use crate::error::ServeError;
+use crate::json::{parse, Json};
+use crp_core::{Crp, CrpConfig, FlowState, IterationReport, StageTimers};
+use crp_geom::{Orientation, Point};
+use crp_grid::{GridConfig, RouteGrid};
+use crp_netlist::{CellId, Design};
+use crp_router::{NetRoute, RouteSeg, Routing, ViaStack};
+use std::path::Path;
+use std::time::Duration;
+
+/// Format version written into every checkpoint; readers reject others.
+const VERSION: i128 = 1;
+
+/// One movable cell's saved placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedCell {
+    /// The cell.
+    pub cell: CellId,
+    /// Position in DBU.
+    pub pos: Point,
+    /// Orientation, encoded as its index in [`Orientation::ALL`].
+    pub orient: Orientation,
+}
+
+/// A job's full resumable flow state. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Iterations completed so far.
+    pub iterations_done: usize,
+    /// Total iterations the job was submitted with.
+    pub iterations_total: usize,
+    /// Grid congestion epoch at capture time.
+    pub grid_epoch: u64,
+    /// Engine state (history sets, RNG, timers).
+    pub flow: FlowState,
+    /// Movable cells' positions and orientations.
+    pub cells: Vec<SavedCell>,
+    /// Per-net routes, indexed by net id.
+    pub routes: Vec<NetRoute>,
+    /// Reports of the completed iterations.
+    pub reports: Vec<IterationReport>,
+}
+
+impl Checkpoint {
+    /// Captures the current flow state.
+    #[must_use]
+    pub fn capture(
+        design: &Design,
+        grid: &RouteGrid,
+        routing: &Routing,
+        crp: &Crp,
+        iterations_done: usize,
+        iterations_total: usize,
+        reports: &[IterationReport],
+    ) -> Checkpoint {
+        let cells = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .map(|c| {
+                let cell = design.cell(c);
+                SavedCell {
+                    cell: c,
+                    pos: cell.pos,
+                    orient: cell.orient,
+                }
+            })
+            .collect();
+        Checkpoint {
+            iterations_done,
+            iterations_total,
+            grid_epoch: grid.epoch(),
+            flow: crp.snapshot(),
+            cells,
+            routes: routing.routes.clone(),
+            reports: reports.to_vec(),
+        }
+    }
+
+    /// Rebuilds the live flow objects on top of `design` (the job's base
+    /// design): applies saved positions, reconstructs the grid by
+    /// recommitting every saved route, fast-forwards the congestion
+    /// epoch, and revives the engine. Returns `(grid, routing, crp)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the checkpoint does not match the
+    /// design (unknown cell/net ids) — the telltale of restoring against
+    /// the wrong base input.
+    pub fn restore(
+        &self,
+        design: &mut Design,
+        config: CrpConfig,
+    ) -> Result<(RouteGrid, Routing, Crp), ServeError> {
+        for saved in &self.cells {
+            if saved.cell.index() >= design.num_cells() {
+                return Err(ServeError::new(format!(
+                    "checkpoint cell {} not in base design ({} cells)",
+                    saved.cell.0,
+                    design.num_cells()
+                )));
+            }
+            if design.cell(saved.cell).fixed {
+                return Err(ServeError::new(format!(
+                    "checkpoint cell {} is fixed in the base design",
+                    saved.cell.0
+                )));
+            }
+            design.move_cell(saved.cell, saved.pos, saved.orient);
+        }
+        if self.routes.len() != design.num_nets() {
+            return Err(ServeError::new(format!(
+                "checkpoint has {} routes, base design has {} nets",
+                self.routes.len(),
+                design.num_nets()
+            )));
+        }
+        let mut grid = RouteGrid::try_new(design, GridConfig::default())
+            .map_err(|e| ServeError::new(format!("grid rebuild failed: {e}")))?;
+        let routing = Routing {
+            routes: self.routes.clone(),
+        };
+        for route in &routing.routes {
+            route.commit(&mut grid);
+        }
+        grid.fast_forward_epoch(self.grid_epoch);
+        let crp = Crp::restore(config, &self.flow);
+        Ok((grid, routing, crp))
+    }
+
+    /// Serializes the checkpoint.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|s| {
+                let orient = Orientation::ALL
+                    .iter()
+                    .position(|&o| o == s.orient)
+                    .unwrap_or(0);
+                Json::Arr(vec![
+                    Json::Int(i128::from(s.cell.0)),
+                    Json::Int(i128::from(s.pos.x)),
+                    Json::Int(i128::from(s.pos.y)),
+                    Json::Int(orient as i128),
+                ])
+            })
+            .collect();
+        let routes = self
+            .routes
+            .iter()
+            .map(|r| {
+                let segs = r
+                    .segs
+                    .iter()
+                    .map(|s| {
+                        Json::Arr(vec![
+                            Json::Int(i128::from(s.layer)),
+                            Json::Int(i128::from(s.from.0)),
+                            Json::Int(i128::from(s.from.1)),
+                            Json::Int(i128::from(s.to.0)),
+                            Json::Int(i128::from(s.to.1)),
+                        ])
+                    })
+                    .collect();
+                let vias = r
+                    .vias
+                    .iter()
+                    .map(|v| {
+                        Json::Arr(vec![
+                            Json::Int(i128::from(v.x)),
+                            Json::Int(i128::from(v.y)),
+                            Json::Int(i128::from(v.lo)),
+                            Json::Int(i128::from(v.hi)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![("segs", Json::Arr(segs)), ("vias", Json::Arr(vias))])
+            })
+            .collect();
+        let flow = Json::obj(vec![
+            ("rng_seed", Json::Int(i128::from(self.flow.rng_seed))),
+            ("rng_draws", Json::Int(i128::from(self.flow.rng_draws))),
+            (
+                "critical_hist",
+                Json::Arr(
+                    self.flow
+                        .critical_hist
+                        .iter()
+                        .map(|c| Json::Int(i128::from(c.0)))
+                        .collect(),
+                ),
+            ),
+            (
+                "moved_set",
+                Json::Arr(
+                    self.flow
+                        .moved_set
+                        .iter()
+                        .map(|c| Json::Int(i128::from(c.0)))
+                        .collect(),
+                ),
+            ),
+            ("timers", timers_to_json(&self.flow.timers)),
+        ]);
+        Json::obj(vec![
+            ("version", Json::Int(VERSION)),
+            ("iterations_done", Json::Int(self.iterations_done as i128)),
+            ("iterations_total", Json::Int(self.iterations_total as i128)),
+            ("grid_epoch", Json::Int(i128::from(self.grid_epoch))),
+            ("flow", flow),
+            ("cells", Json::Arr(cells)),
+            ("routes", Json::Arr(routes)),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(report_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] on version mismatch or any malformed
+    /// field.
+    pub fn from_json(v: &Json) -> Result<Checkpoint, ServeError> {
+        if v.get("version").and_then(Json::as_i64) != Some(1) {
+            return Err(ServeError::new("unsupported checkpoint version"));
+        }
+        let iterations_done = req_usize(v, "iterations_done")?;
+        let iterations_total = req_usize(v, "iterations_total")?;
+        let grid_epoch = req_u64(v, "grid_epoch")?;
+        let flow_json = v
+            .get("flow")
+            .ok_or_else(|| ServeError::new("checkpoint missing `flow`"))?;
+        let flow = FlowState {
+            rng_seed: req_u64(flow_json, "rng_seed")?,
+            rng_draws: req_u64(flow_json, "rng_draws")?,
+            critical_hist: cell_list(flow_json, "critical_hist")?,
+            moved_set: cell_list(flow_json, "moved_set")?,
+            timers: timers_from_json(
+                flow_json
+                    .get("timers")
+                    .ok_or_else(|| ServeError::new("flow missing `timers`"))?,
+            )?,
+        };
+        let mut cells = Vec::new();
+        for item in req_arr(v, "cells")? {
+            let f = int_row::<4>(item, "cells")?;
+            let orient = usize::try_from(f[3])
+                .ok()
+                .and_then(|i| Orientation::ALL.get(i).copied())
+                .ok_or_else(|| ServeError::new("bad orientation index"))?;
+            cells.push(SavedCell {
+                cell: CellId(to_u32(f[0])?),
+                pos: Point::new(to_i64(f[1])?, to_i64(f[2])?),
+                orient,
+            });
+        }
+        let mut routes = Vec::new();
+        for item in req_arr(v, "routes")? {
+            let mut route = NetRoute::empty();
+            for seg in req_arr(item, "segs")? {
+                let f = int_row::<5>(seg, "segs")?;
+                route.segs.push(RouteSeg::new(
+                    to_u16(f[0])?,
+                    (to_u16(f[1])?, to_u16(f[2])?),
+                    (to_u16(f[3])?, to_u16(f[4])?),
+                ));
+            }
+            for via in req_arr(item, "vias")? {
+                let f = int_row::<4>(via, "vias")?;
+                route.vias.push(ViaStack {
+                    x: to_u16(f[0])?,
+                    y: to_u16(f[1])?,
+                    lo: to_u16(f[2])?,
+                    hi: to_u16(f[3])?,
+                });
+            }
+            routes.push(route);
+        }
+        let mut reports = Vec::new();
+        for item in req_arr(v, "reports")? {
+            reports.push(report_from_json(item)?);
+        }
+        Ok(Checkpoint {
+            iterations_done,
+            iterations_total,
+            grid_epoch,
+            flow,
+            cells,
+            routes,
+            reports,
+        })
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`. A crash mid-write leaves the previous
+    /// checkpoint file untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json().to_string())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from `path`; `Ok(None)` when the file does not
+    /// exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] on I/O failure or a malformed file.
+    pub fn load(path: &Path) -> Result<Option<Checkpoint>, ServeError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(Checkpoint::from_json(&parse(&text)?)?))
+    }
+}
+
+/// Serializes an [`IterationReport`].
+#[must_use]
+pub fn report_to_json(r: &IterationReport) -> Json {
+    Json::obj(vec![
+        ("iteration", Json::Int(r.iteration as i128)),
+        ("critical_cells", Json::Int(r.critical_cells as i128)),
+        ("candidates", Json::Int(r.candidates as i128)),
+        ("moved_cells", Json::Int(r.moved_cells as i128)),
+        ("rerouted_nets", Json::Int(r.rerouted_nets as i128)),
+        ("cost_before", Json::Float(r.cost_before)),
+        ("cost_after", Json::Float(r.cost_after)),
+    ])
+}
+
+/// Parses an [`IterationReport`].
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] on any missing or mistyped field.
+pub fn report_from_json(v: &Json) -> Result<IterationReport, ServeError> {
+    Ok(IterationReport {
+        iteration: req_usize(v, "iteration")?,
+        critical_cells: req_usize(v, "critical_cells")?,
+        candidates: req_usize(v, "candidates")?,
+        moved_cells: req_usize(v, "moved_cells")?,
+        rerouted_nets: req_usize(v, "rerouted_nets")?,
+        cost_before: req_f64(v, "cost_before")?,
+        cost_after: req_f64(v, "cost_after")?,
+    })
+}
+
+fn timers_to_json(t: &StageTimers) -> Json {
+    Json::obj(vec![
+        ("label_ns", dur(t.label)),
+        ("gcp_ns", dur(t.gcp)),
+        ("ecc_ns", dur(t.ecc)),
+        ("select_ns", dur(t.select)),
+        ("update_ns", dur(t.update)),
+        ("ecc_cache_hits", Json::Int(i128::from(t.ecc_cache_hits))),
+        (
+            "ecc_cache_misses",
+            Json::Int(i128::from(t.ecc_cache_misses)),
+        ),
+    ])
+}
+
+fn dur(d: Duration) -> Json {
+    let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    Json::Int(i128::from(ns))
+}
+
+fn timers_from_json(v: &Json) -> Result<StageTimers, ServeError> {
+    Ok(StageTimers {
+        label: Duration::from_nanos(req_u64(v, "label_ns")?),
+        gcp: Duration::from_nanos(req_u64(v, "gcp_ns")?),
+        ecc: Duration::from_nanos(req_u64(v, "ecc_ns")?),
+        select: Duration::from_nanos(req_u64(v, "select_ns")?),
+        update: Duration::from_nanos(req_u64(v, "update_ns")?),
+        ecc_cache_hits: req_u64(v, "ecc_cache_hits")?,
+        ecc_cache_misses: req_u64(v, "ecc_cache_misses")?,
+    })
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, ServeError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::new(format!("missing integer `{key}`")))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, ServeError> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ServeError::new(format!("missing integer `{key}`")))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, ServeError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ServeError::new(format!("missing number `{key}`")))
+}
+
+fn req_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], ServeError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::new(format!("missing array `{key}`")))
+}
+
+/// Reads a fixed-width row of integers (`[a, b, ...]`).
+fn int_row<const N: usize>(v: &Json, what: &str) -> Result<[i128; N], ServeError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| ServeError::new(format!("`{what}` entry is not an array")))?;
+    if arr.len() != N {
+        return Err(ServeError::new(format!(
+            "`{what}` entry has {} fields, expected {N}",
+            arr.len()
+        )));
+    }
+    let mut out = [0i128; N];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        match item {
+            Json::Int(i) => *slot = *i,
+            _ => return Err(ServeError::new(format!("`{what}` entry is not integer"))),
+        }
+    }
+    Ok(out)
+}
+
+fn cell_list(v: &Json, key: &str) -> Result<Vec<CellId>, ServeError> {
+    req_arr(v, key)?
+        .iter()
+        .map(|j| match j {
+            Json::Int(i) => u32::try_from(*i)
+                .map(CellId)
+                .map_err(|_| ServeError::new(format!("`{key}` id out of range"))),
+            _ => Err(ServeError::new(format!("`{key}` entries must be integers"))),
+        })
+        .collect()
+}
+
+fn to_u32(i: i128) -> Result<u32, ServeError> {
+    u32::try_from(i).map_err(|_| ServeError::new("value out of u32 range"))
+}
+
+fn to_u16(i: i128) -> Result<u16, ServeError> {
+    u16::try_from(i).map_err(|_| ServeError::new("value out of u16 range"))
+}
+
+fn to_i64(i: i128) -> Result<i64, ServeError> {
+    i64::try_from(i).map_err(|_| ServeError::new("value out of i64 range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_router::{GlobalRouter, RouterConfig};
+    use crp_workload::ispd18_profiles;
+
+    fn small_flow() -> (Design, RouteGrid, GlobalRouter, Routing) {
+        let design = ispd18_profiles()[0].scaled(800.0).generate();
+        let mut grid = RouteGrid::new(&design, GridConfig::default());
+        let mut router = GlobalRouter::new(RouterConfig::default());
+        let routing = router.route_all(&design, &mut grid);
+        (design, grid, router, routing)
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_json() {
+        let (mut design, mut grid, mut router, mut routing) = small_flow();
+        let mut crp = Crp::new(CrpConfig::default());
+        let reports = vec![crp.run_iteration(0, &mut design, &mut grid, &mut router, &mut routing)];
+        let ckpt = Checkpoint::capture(&design, &grid, &routing, &crp, 1, 3, &reports);
+        let json = ckpt.to_json().to_string();
+        let back = Checkpoint::from_json(&parse(&json).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn restore_rebuilds_an_identical_flow() {
+        let (mut design, mut grid, mut router, mut routing) = small_flow();
+        let cfg = CrpConfig::default();
+        let mut crp = Crp::new(cfg);
+        let mut reports = Vec::new();
+        reports.push(crp.run_iteration(0, &mut design, &mut grid, &mut router, &mut routing));
+        let ckpt = Checkpoint::capture(&design, &grid, &routing, &crp, 1, 2, &reports);
+
+        // Continue the original run.
+        reports.push(crp.run_iteration(1, &mut design, &mut grid, &mut router, &mut routing));
+
+        // Restore onto a fresh base design and continue from there.
+        let mut design2 = ispd18_profiles()[0].scaled(800.0).generate();
+        let (mut grid2, mut routing2, mut crp2) = ckpt.restore(&mut design2, cfg).unwrap();
+        let mut router2 = GlobalRouter::new(RouterConfig::default());
+        let r2 = crp2.run_iteration(1, &mut design2, &mut grid2, &mut router2, &mut routing2);
+
+        assert_eq!(r2, reports[1], "resumed iteration diverged");
+        let pos: Vec<_> = design.cell_ids().map(|c| design.cell(c).pos).collect();
+        let pos2: Vec<_> = design2.cell_ids().map(|c| design2.cell(c).pos).collect();
+        assert_eq!(pos, pos2, "final placements diverged");
+        assert_eq!(routing.routes, routing2.routes, "final routes diverged");
+    }
+
+    #[test]
+    fn save_load_atomic_and_missing_is_none() {
+        let (design, grid, _router, routing) = small_flow();
+        let crp = Crp::new(CrpConfig::default());
+        let ckpt = Checkpoint::capture(&design, &grid, &routing, &crp, 0, 1, &[]);
+        let dir = std::env::temp_dir().join(format!("crp-serve-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap().unwrap();
+        assert_eq!(back, ckpt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_against_wrong_design_errors() {
+        let (design, grid, _router, routing) = small_flow();
+        let crp = Crp::new(CrpConfig::default());
+        let ckpt = Checkpoint::capture(&design, &grid, &routing, &crp, 0, 1, &[]);
+        // A different profile: different cell/net counts.
+        let mut other = ispd18_profiles()[1].scaled(800.0).generate();
+        assert!(ckpt.restore(&mut other, CrpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let bad = parse("{\"version\":2}").unwrap();
+        assert!(Checkpoint::from_json(&bad).is_err());
+    }
+}

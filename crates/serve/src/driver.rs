@@ -1,0 +1,287 @@
+//! The per-job flow driver: builds the design, runs CR&P iterations,
+//! checkpoints at iteration boundaries, and emits progress events.
+//!
+//! The driver is deliberately ignorant of scheduling — it receives its
+//! thread budget and two control flags (`cancel`, `pause`) and reports
+//! back through a [`RunOutcome`]. All state it needs to resume lives in
+//! the job directory, so the scheduler can re-dispatch a paused or
+//! crashed job at any time, on any worker.
+
+use crate::checkpoint::{report_to_json, Checkpoint};
+use crate::error::ServeError;
+use crate::json::{parse, Json};
+use crate::spec::{JobSpec, Workload};
+use crp_core::{Crp, IterationReport};
+use crp_grid::{GridConfig, RouteGrid};
+use crp_lefdef::{parse_def, parse_lef, write_def, write_guides};
+use crp_netlist::Design;
+use crp_router::{GlobalRouter, RouterConfig};
+use crp_workload::ispd18_profiles;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// File name of a job's checkpoint inside its directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+/// File name of a finished job's placed-and-routed DEF.
+pub const RESULT_DEF_FILE: &str = "result.def";
+/// File name of a finished job's route guides.
+pub const RESULT_GUIDE_FILE: &str = "result.guide";
+
+/// One per-iteration progress event, streamed to `watch` subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// 0-based iteration that just completed.
+    pub iteration: usize,
+    /// Total iterations the job will run.
+    pub total: usize,
+    /// The iteration's statistics.
+    pub report: IterationReport,
+    /// Accumulated `StageTimers::to_json()` output, verbatim — the same
+    /// JSON the `crp-bench` tooling prints, including the price-cache
+    /// hit/miss counters.
+    pub timers_json: String,
+}
+
+impl WatchEvent {
+    /// Serializes the event for the wire. The `timers` field embeds
+    /// `timers_json` as-is (it is already canonical JSON; a parse failure
+    /// would be a bug and degrades to a string).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let timers = parse(&self.timers_json).unwrap_or_else(|_| Json::str(&self.timers_json));
+        Json::obj(vec![
+            ("iteration", Json::Int(self.iteration as i128)),
+            ("total", Json::Int(self.total as i128)),
+            ("report", report_to_json(&self.report)),
+            ("timers", timers),
+        ])
+    }
+}
+
+/// How a dispatch of [`run_job`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All iterations ran; results are on disk.
+    Finished,
+    /// The pause flag was honored at an iteration boundary; a checkpoint
+    /// covering all completed iterations is on disk.
+    Paused,
+    /// The cancel flag was honored; the job will not resume.
+    Cancelled,
+}
+
+/// Builds the job's base design: the profile regenerated from scratch or
+/// the LEF/DEF pair re-parsed. Deterministic, so a resumed job restores
+/// onto exactly the design the original run started from.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] for unknown profile names or unreadable /
+/// malformed LEF/DEF files.
+pub fn build_base_design(workload: &Workload) -> Result<Design, ServeError> {
+    match workload {
+        Workload::Profile { name, scale } => {
+            let profile = ispd18_profiles()
+                .into_iter()
+                .find(|p| p.name == *name)
+                .ok_or_else(|| ServeError::new(format!("unknown workload profile `{name}`")))?;
+            Ok(profile.scaled(*scale).generate())
+        }
+        Workload::LefDef { lef, def } => {
+            let lef_text = std::fs::read_to_string(lef)
+                .map_err(|e| ServeError::new(format!("cannot read LEF `{lef}`: {e}")))?;
+            let def_text = std::fs::read_to_string(def)
+                .map_err(|e| ServeError::new(format!("cannot read DEF `{def}`: {e}")))?;
+            let tech =
+                parse_lef(&lef_text).map_err(|e| ServeError::new(format!("LEF parse: {e}")))?;
+            parse_def(&def_text, &tech).map_err(|e| ServeError::new(format!("DEF parse: {e}")))
+        }
+    }
+}
+
+/// Runs (or resumes) a job inside `dir` with a granted budget of
+/// `threads` workers.
+///
+/// A fresh start routes the design from scratch; when `dir` holds a
+/// checkpoint, the flow is restored from it instead and continues
+/// bit-identically with the uninterrupted run. After each iteration the
+/// driver emits a [`WatchEvent`], honors `cancel`/`pause`, and — every
+/// `spec.checkpoint_every` iterations — atomically rewrites the
+/// checkpoint. On completion it writes `result.def` and `result.guide`
+/// plus a final checkpoint (whose reports back the `status` verb).
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] when the base design cannot be built, a
+/// checkpoint is unreadable or mismatched, or a result fails to write.
+pub fn run_job(
+    spec: &JobSpec,
+    dir: &Path,
+    threads: usize,
+    cancel: &AtomicBool,
+    pause: &AtomicBool,
+    on_event: &mut dyn FnMut(WatchEvent),
+) -> Result<RunOutcome, ServeError> {
+    let mut config = spec.config;
+    config.threads = threads.max(1);
+
+    let mut design = build_base_design(&spec.workload)?;
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+
+    let (mut grid, mut routing, mut crp, mut reports, start) = match Checkpoint::load(&ckpt_path)? {
+        Some(ckpt) => {
+            let (grid, routing, crp) = ckpt.restore(&mut design, config)?;
+            (
+                grid,
+                routing,
+                crp,
+                ckpt.reports.clone(),
+                ckpt.iterations_done,
+            )
+        }
+        None => {
+            let mut grid = RouteGrid::try_new(&design, GridConfig::default())
+                .map_err(|e| ServeError::new(format!("grid build failed: {e}")))?;
+            let mut router = GlobalRouter::new(RouterConfig::default());
+            let routing = router.route_all(&design, &mut grid);
+            (grid, routing, Crp::new(config), Vec::new(), 0)
+        }
+    };
+    // `reroute_net` — the only router entry the flow uses — ignores RRR
+    // history, so a fresh router is equivalent to the original instance.
+    let mut router = GlobalRouter::new(RouterConfig::default());
+
+    let total = spec.iterations;
+    for i in start..total {
+        if cancel.load(Ordering::Acquire) {
+            return Ok(RunOutcome::Cancelled);
+        }
+        if pause.load(Ordering::Acquire) {
+            Checkpoint::capture(&design, &grid, &routing, &crp, i, total, &reports)
+                .save(&ckpt_path)?;
+            return Ok(RunOutcome::Paused);
+        }
+        let report = crp.run_iteration(i, &mut design, &mut grid, &mut router, &mut routing);
+        reports.push(report);
+        on_event(WatchEvent {
+            iteration: i,
+            total,
+            report,
+            timers_json: crp.timers().to_json(),
+        });
+        let done = i + 1;
+        if spec.checkpoint_every > 0 && done % spec.checkpoint_every == 0 && done < total {
+            Checkpoint::capture(&design, &grid, &routing, &crp, done, total, &reports)
+                .save(&ckpt_path)?;
+        }
+    }
+
+    if cancel.load(Ordering::Acquire) {
+        return Ok(RunOutcome::Cancelled);
+    }
+    std::fs::write(dir.join(RESULT_DEF_FILE), write_def(&design))?;
+    std::fs::write(
+        dir.join(RESULT_GUIDE_FILE),
+        write_guides(&design, &grid, &routing),
+    )?;
+    // Final checkpoint: lets `status` report per-iteration history after
+    // completion and makes `Done` recovery trivially idempotent.
+    Checkpoint::capture(&design, &grid, &routing, &crp, total, total, &reports).save(&ckpt_path)?;
+    Ok(RunOutcome::Finished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Lane;
+    use std::sync::atomic::AtomicBool;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            workload: Workload::Profile {
+                name: "ispd18_test1".to_string(),
+                scale: 800.0,
+            },
+            iterations: 3,
+            threads: 1,
+            priority: Lane::Normal,
+            checkpoint_every: 1,
+            config: crp_core::CrpConfig::default(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("crp-driver-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fresh_run_finishes_and_writes_results() {
+        let dir = tmp_dir("fresh");
+        let no = AtomicBool::new(false);
+        let mut events = Vec::new();
+        let outcome = run_job(&spec(), &dir, 1, &no, &no, &mut |e| events.push(e)).unwrap();
+        assert_eq!(outcome, RunOutcome::Finished);
+        assert_eq!(events.len(), 3);
+        assert!(dir.join(RESULT_DEF_FILE).exists());
+        assert!(dir.join(RESULT_GUIDE_FILE).exists());
+        let ckpt = Checkpoint::load(&dir.join(CHECKPOINT_FILE))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ckpt.iterations_done, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paused_then_resumed_run_matches_uninterrupted() {
+        let s = spec();
+        let no = AtomicBool::new(false);
+
+        // Reference: uninterrupted.
+        let ref_dir = tmp_dir("ref");
+        run_job(&s, &ref_dir, 1, &no, &no, &mut |_| {}).unwrap();
+        let ref_def = std::fs::read_to_string(ref_dir.join(RESULT_DEF_FILE)).unwrap();
+        let ref_guide = std::fs::read_to_string(ref_dir.join(RESULT_GUIDE_FILE)).unwrap();
+
+        // Interrupted: pause after the first iteration, then resume.
+        let dir = tmp_dir("resume");
+        let pause = AtomicBool::new(false);
+        let outcome = run_job(&s, &dir, 1, &no, &pause, &mut |_| {
+            pause.store(true, std::sync::atomic::Ordering::Release);
+        })
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Paused);
+        pause.store(false, std::sync::atomic::Ordering::Release);
+        let outcome = run_job(&s, &dir, 1, &no, &pause, &mut |_| {}).unwrap();
+        assert_eq!(outcome, RunOutcome::Finished);
+
+        let def = std::fs::read_to_string(dir.join(RESULT_DEF_FILE)).unwrap();
+        let guide = std::fs::read_to_string(dir.join(RESULT_GUIDE_FILE)).unwrap();
+        assert_eq!(def, ref_def, "resumed DEF diverged");
+        assert_eq!(guide, ref_guide, "resumed guides diverged");
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_stops_without_results() {
+        let dir = tmp_dir("cancel");
+        let cancel = AtomicBool::new(true);
+        let no = AtomicBool::new(false);
+        let outcome = run_job(&spec(), &dir, 1, &cancel, &no, &mut |_| {}).unwrap();
+        assert_eq!(outcome, RunOutcome::Cancelled);
+        assert!(!dir.join(RESULT_DEF_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_profile_is_an_error() {
+        let err = build_base_design(&Workload::Profile {
+            name: "nope".into(),
+            scale: 1.0,
+        })
+        .unwrap_err();
+        assert!(err.msg.contains("unknown workload profile"));
+    }
+}

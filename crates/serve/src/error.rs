@@ -1,0 +1,41 @@
+//! The crate-wide error type.
+//!
+//! Everything in `crp-serve` is panic-free: I/O failures, malformed
+//! requests, and unknown jobs all propagate as [`ServeError`] and end up
+//! as `{"ok":false,"error":...}` responses on the wire, never as a dead
+//! daemon.
+
+/// Any failure the daemon or client can encounter and report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Human-readable description, sent verbatim in error responses.
+    pub msg: String,
+}
+
+impl ServeError {
+    /// Creates an error from any displayable message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> ServeError {
+        ServeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::new(format!("io error: {e}"))
+    }
+}
+
+impl From<crate::json::JsonError> for ServeError {
+    fn from(e: crate::json::JsonError) -> ServeError {
+        ServeError::new(format!("malformed JSON: {e}"))
+    }
+}

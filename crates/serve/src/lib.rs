@@ -1,0 +1,43 @@
+//! `crp-serve`: a checkpointing batch-optimization daemon for the CR&P
+//! flow.
+//!
+//! The crate provides `crpd` — a std-only TCP job server (hand-rolled
+//! sockets and threads, no async runtime) — and `crp-cli`, its
+//! line-delimited-JSON client. Jobs run the CR&P placement/routing flow
+//! over generated workload profiles or LEF/DEF inputs, with:
+//!
+//! - **admission control**: a bounded queue with two priority lanes that
+//!   rejects (with a reason) instead of buffering unboundedly,
+//! - **thread budgeting**: each job declares how many worker threads it
+//!   may use; the scheduler partitions the machine's cores across
+//!   concurrently running jobs and never oversubscribes,
+//! - **checkpoint/resume**: between iterations a job's complete flow
+//!   state (placement, routes, grid epoch, RNG stream position, history
+//!   sets, timers) is written atomically to disk, so a SIGKILLed daemon
+//!   resumes every in-flight job **bit-identically** on restart,
+//! - **streaming progress**: `watch` long-polls per-iteration events
+//!   carrying the same JSON produced by `StageTimers::to_json`.
+//!
+//! The wire protocol and job state machine are documented in
+//! `DESIGN.md` §10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod client;
+pub mod driver;
+pub mod error;
+pub mod json;
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+
+pub use checkpoint::{Checkpoint, SavedCell};
+pub use client::Client;
+pub use driver::{run_job, RunOutcome, WatchEvent};
+pub use error::ServeError;
+pub use json::{parse, Json, JsonError};
+pub use scheduler::{JobStatus, SchedConfig, Scheduler};
+pub use server::Server;
+pub use spec::{JobSpec, JobState, Lane, Workload};

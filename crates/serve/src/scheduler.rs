@@ -1,0 +1,747 @@
+//! The job scheduler: bounded admission, priority lanes, thread-budget
+//! partitioning, dispatch, and crash recovery.
+//!
+//! One mutex + condvar protect all scheduler state. A dedicated
+//! dispatcher thread pops the highest-priority runnable job whenever
+//! both a worker slot and enough thread budget are free, and spawns a
+//! worker thread for it. Workers run [`run_job`] under `catch_unwind`,
+//! so a panicking flow (e.g. a `crp-check` invariant failure) marks the
+//! job `Failed` with the diagnostic-bundle path instead of killing the
+//! daemon.
+//!
+//! Every state transition is persisted to `jobs/<id>/state.json` before
+//! it is observable over the wire, so a SIGKILL at any instant leaves a
+//! directory tree from which [`Scheduler::recover`] reconstructs the
+//! queue: `Running` jobs (whose worker died with the process) simply
+//! re-enter their lane and resume from their last checkpoint.
+
+use crate::driver::{run_job, RunOutcome, WatchEvent};
+use crate::error::ServeError;
+use crate::json::{parse, Json};
+use crate::spec::{JobSpec, JobState, Lane};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Scheduler tunables.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Root data directory; jobs live under `<data_dir>/jobs/<id>/`.
+    pub data_dir: PathBuf,
+    /// Maximum jobs waiting in the lanes; submissions beyond this are
+    /// rejected with a reason (admission control).
+    pub queue_capacity: usize,
+    /// Total worker-thread budget partitioned across running jobs.
+    pub total_threads: usize,
+    /// Maximum jobs running concurrently.
+    pub max_running: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            data_dir: std::env::temp_dir().join("crpd-data"),
+            queue_capacity: 16,
+            total_threads: 4,
+            max_running: 2,
+        }
+    }
+}
+
+/// Per-job control flags shared between the scheduler and the worker.
+#[derive(Debug, Default)]
+struct JobFlags {
+    cancel: AtomicBool,
+    pause: AtomicBool,
+}
+
+/// Everything the scheduler tracks about one job.
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    /// Error message when `Failed`.
+    error: Option<String>,
+    /// Iterations completed (from the last event or checkpoint).
+    iterations_done: usize,
+    /// Thread budget granted while `Running`.
+    granted: usize,
+    /// Per-iteration events observed so far (resume-aware: prefilled
+    /// from the checkpoint's reports on recovery).
+    events: Vec<WatchEvent>,
+    flags: Arc<JobFlags>,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    jobs: BTreeMap<u64, JobRecord>,
+    high: VecDeque<u64>,
+    normal: VecDeque<u64>,
+    next_id: u64,
+    queued: usize,
+    running: usize,
+    free_threads: usize,
+    draining: bool,
+}
+
+/// The shared scheduler handle. Cloning is cheap; all clones drive the
+/// same state.
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+}
+
+struct SchedInner {
+    config: SchedConfig,
+    state: Mutex<SchedState>,
+    /// Woken on every state change: dispatcher re-evaluates, `watch`
+    /// long-polls re-check.
+    cond: Condvar,
+}
+
+/// A point-in-time public view of one job, for `status` responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Scheduling lane.
+    pub priority: Lane,
+    /// Iterations completed so far.
+    pub iterations_done: usize,
+    /// Total iterations requested.
+    pub iterations_total: usize,
+    /// Thread budget granted (0 unless running).
+    pub granted_threads: usize,
+    /// Failure message, when `Failed`.
+    pub error: Option<String>,
+    /// The last iteration's event, when any iteration has completed.
+    pub last_event: Option<WatchEvent>,
+}
+
+impl JobStatus {
+    /// Serializes the status for the wire.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", Json::Int(i128::from(self.id))),
+            ("state", Json::str(self.state.as_str())),
+            ("priority", Json::str(self.priority.as_str())),
+            ("iterations_done", Json::Int(self.iterations_done as i128)),
+            ("iterations_total", Json::Int(self.iterations_total as i128)),
+            ("granted_threads", Json::Int(self.granted_threads as i128)),
+        ];
+        if let Some(e) = &self.error {
+            fields.push(("error", Json::str(e)));
+        }
+        if let Some(ev) = &self.last_event {
+            fields.push(("last", ev.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+fn lock_state(inner: &SchedInner) -> std::sync::MutexGuard<'_, SchedState> {
+    // A worker that panicked between state writes poisons nothing
+    // observable: all invariants are re-established under this lock.
+    inner
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// Creates a scheduler, its data directory, and the dispatcher
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the data directory cannot be
+    /// created.
+    pub fn new(config: SchedConfig) -> Result<Scheduler, ServeError> {
+        std::fs::create_dir_all(config.data_dir.join("jobs"))?;
+        let free_threads = config.total_threads.max(1);
+        let sched = Scheduler {
+            inner: Arc::new(SchedInner {
+                config,
+                state: Mutex::new(SchedState {
+                    free_threads,
+                    ..SchedState::default()
+                }),
+                cond: Condvar::new(),
+            }),
+        };
+        let for_dispatch = sched.clone();
+        std::thread::Builder::new()
+            .name("crpd-dispatch".to_string())
+            .spawn(move || for_dispatch.dispatch_loop())
+            .map_err(|e| ServeError::new(format!("cannot spawn dispatcher: {e}")))?;
+        Ok(sched)
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.inner.config.data_dir.join("jobs").join(id.to_string())
+    }
+
+    /// The directory jobs live under (for result fetching).
+    #[must_use]
+    pub fn data_dir(&self) -> &Path {
+        &self.inner.config.data_dir
+    }
+
+    /// Scans `jobs/` and re-enqueues every job a previous daemon process
+    /// left unfinished. `Running` jobs become `Queued` again (their
+    /// worker died with the old process; their checkpoint carries the
+    /// completed iterations). Terminal jobs are kept for `status` /
+    /// `fetch` but not re-run. Returns how many jobs were re-enqueued.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the jobs directory is unreadable;
+    /// individual corrupt job dirs are skipped, not fatal.
+    pub fn recover(&self) -> Result<usize, ServeError> {
+        let jobs_root = self.inner.config.data_dir.join("jobs");
+        let mut revived = 0;
+        let mut entries: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&jobs_root)? {
+            let entry = entry?;
+            if let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                entries.push(id);
+            }
+        }
+        entries.sort_unstable();
+        for id in entries {
+            match self.recover_one(id) {
+                Ok(true) => revived += 1,
+                Ok(false) => {}
+                Err(_) => {} // corrupt dir: skip, don't take the daemon down
+            }
+        }
+        if revived > 0 {
+            self.inner.cond.notify_all();
+        }
+        Ok(revived)
+    }
+
+    fn recover_one(&self, id: u64) -> Result<bool, ServeError> {
+        let dir = self.job_dir(id);
+        let spec_text = std::fs::read_to_string(dir.join("spec.json"))?;
+        let spec = JobSpec::from_json(&parse(&spec_text)?)?;
+        let state_text = std::fs::read_to_string(dir.join("state.json"))?;
+        let state_json = parse(&state_text)?;
+        let state = state_json
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::from_name)
+            .ok_or_else(|| ServeError::new("bad state.json"))?;
+        let error = state_json
+            .get("error")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let ckpt = crate::checkpoint::Checkpoint::load(&dir.join(crate::driver::CHECKPOINT_FILE))
+            .unwrap_or(None);
+        let iterations_done = ckpt.as_ref().map_or(0, |c| c.iterations_done);
+        let events = Vec::new();
+
+        let mut st = lock_state(&self.inner);
+        st.next_id = st.next_id.max(id + 1);
+        let revive = !state.is_terminal();
+        let record_state = if revive { JobState::Queued } else { state };
+        let lane = spec.priority;
+        st.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: record_state,
+                error,
+                iterations_done,
+                granted: 0,
+                events,
+                flags: Arc::new(JobFlags::default()),
+            },
+        );
+        if revive {
+            match lane {
+                Lane::High => st.high.push_back(id),
+                Lane::Normal => st.normal.push_back(id),
+            }
+            st.queued += 1;
+        }
+        drop(st);
+        if revive {
+            self.persist_state(id, JobState::Queued, None);
+        }
+        Ok(revive)
+    }
+
+    /// Admits a job or rejects it with a reason (queue full / draining).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] with the rejection reason; the job is
+    /// not recorded.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, ServeError> {
+        let id;
+        {
+            let mut st = lock_state(&self.inner);
+            if st.draining {
+                return Err(ServeError::new("daemon is draining; not accepting jobs"));
+            }
+            if st.queued >= self.inner.config.queue_capacity {
+                return Err(ServeError::new(format!(
+                    "queue full ({} queued, capacity {})",
+                    st.queued, self.inner.config.queue_capacity
+                )));
+            }
+            id = st.next_id;
+            st.next_id += 1;
+            match spec.priority {
+                Lane::High => st.high.push_back(id),
+                Lane::Normal => st.normal.push_back(id),
+            }
+            st.queued += 1;
+            st.jobs.insert(
+                id,
+                JobRecord {
+                    spec: spec.clone(),
+                    state: JobState::Queued,
+                    error: None,
+                    iterations_done: 0,
+                    granted: 0,
+                    events: Vec::new(),
+                    flags: Arc::new(JobFlags::default()),
+                },
+            );
+        }
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("spec.json"), spec.to_json().to_string())?;
+        self.persist_state(id, JobState::Queued, None);
+        self.inner.cond.notify_all();
+        Ok(id)
+    }
+
+    /// Requests cancellation. Queued jobs are removed from their lane
+    /// immediately; running jobs stop at the next iteration boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] for unknown job ids.
+    pub fn cancel(&self, id: u64) -> Result<JobState, ServeError> {
+        let mut st = lock_state(&self.inner);
+        let rec = st
+            .jobs
+            .get(&id)
+            .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
+        let state = rec.state;
+        match state {
+            JobState::Queued | JobState::Checkpointed => {
+                let rec = st
+                    .jobs
+                    .get_mut(&id)
+                    .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
+                rec.state = JobState::Cancelled;
+                rec.flags.cancel.store(true, Ordering::Release);
+                st.high.retain(|&j| j != id);
+                st.normal.retain(|&j| j != id);
+                st.queued = st.queued.saturating_sub(1);
+                drop(st);
+                self.persist_state(id, JobState::Cancelled, None);
+                self.inner.cond.notify_all();
+                Ok(JobState::Cancelled)
+            }
+            JobState::Running => {
+                rec.flags.cancel.store(true, Ordering::Release);
+                Ok(JobState::Running) // will transition at the boundary
+            }
+            terminal => Ok(terminal),
+        }
+    }
+
+    /// A point-in-time view of one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] for unknown job ids.
+    pub fn status(&self, id: u64) -> Result<JobStatus, ServeError> {
+        let st = lock_state(&self.inner);
+        let rec = st
+            .jobs
+            .get(&id)
+            .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
+        Ok(JobStatus {
+            id,
+            state: rec.state,
+            priority: rec.spec.priority,
+            iterations_done: rec.iterations_done,
+            iterations_total: rec.spec.iterations,
+            granted_threads: rec.granted,
+            error: rec.error.clone(),
+            last_event: rec.events.last().cloned(),
+        })
+    }
+
+    /// Status of every known job, in id order.
+    #[must_use]
+    pub fn status_all(&self) -> Vec<JobStatus> {
+        let st = lock_state(&self.inner);
+        st.jobs
+            .iter()
+            .map(|(&id, rec)| JobStatus {
+                id,
+                state: rec.state,
+                priority: rec.spec.priority,
+                iterations_done: rec.iterations_done,
+                iterations_total: rec.spec.iterations,
+                granted_threads: rec.granted,
+                error: rec.error.clone(),
+                last_event: rec.events.last().cloned(),
+            })
+            .collect()
+    }
+
+    /// Blocks until the job has produced an event with index `>= from`
+    /// or reached a terminal state; returns all events from `from` on
+    /// and the job's current state. This is the long-poll behind the
+    /// `watch` verb.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] for unknown job ids.
+    pub fn watch(&self, id: u64, from: usize) -> Result<(Vec<WatchEvent>, JobState), ServeError> {
+        let mut st = lock_state(&self.inner);
+        loop {
+            let rec = st
+                .jobs
+                .get(&id)
+                .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
+            if rec.events.len() > from || rec.state.is_terminal() {
+                let events = rec.events.get(from..).unwrap_or(&[]).to_vec();
+                return Ok((events, rec.state));
+            }
+            let (guard, _timeout) = self
+                .inner
+                .cond
+                .wait_timeout(st, std::time::Duration::from_millis(500))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Begins draining: rejects new submissions, asks every running job
+    /// to pause at its next iteration boundary, and returns once all
+    /// workers have parked their jobs as `Checkpointed` (or finished).
+    pub fn drain(&self) {
+        let mut st = lock_state(&self.inner);
+        st.draining = true;
+        for rec in st.jobs.values() {
+            if rec.state == JobState::Running {
+                rec.flags.pause.store(true, Ordering::Release);
+            }
+        }
+        self.inner.cond.notify_all();
+        while st.running > 0 {
+            let guard = self
+                .inner
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Writes `state.json` for a job (atomically: tmp + rename).
+    fn persist_state(&self, id: u64, state: JobState, error: Option<&str>) {
+        let dir = self.job_dir(id);
+        let mut fields = vec![("state", Json::str(state.as_str()))];
+        if let Some(e) = error {
+            fields.push(("error", Json::str(e)));
+        }
+        let text = Json::obj(fields).to_string();
+        let tmp = dir.join("state.json.tmp");
+        // Persistence is best-effort durability, not correctness: a
+        // failed write degrades crash recovery, never live behavior.
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, dir.join("state.json"));
+        }
+    }
+
+    /// Dispatcher: runs until the process exits. Waits for a runnable
+    /// job + free capacity, grants a thread budget, and spawns a worker.
+    fn dispatch_loop(&self) {
+        loop {
+            let (id, granted) = {
+                let mut st = lock_state(&self.inner);
+                loop {
+                    if let Some(pick) = self.pick_runnable(&mut st) {
+                        break pick;
+                    }
+                    let guard = self
+                        .inner
+                        .cond
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st = guard;
+                }
+            };
+            let sched = self.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("crpd-job-{id}"))
+                .spawn(move || sched.run_worker(id, granted));
+            if spawned.is_err() {
+                // Could not spawn: return the job to its lane.
+                let mut st = lock_state(&self.inner);
+                st.running = st.running.saturating_sub(1);
+                st.free_threads += granted;
+                if let Some(rec) = st.jobs.get_mut(&id) {
+                    rec.state = JobState::Queued;
+                    rec.granted = 0;
+                    match rec.spec.priority {
+                        Lane::High => st.high.push_front(id),
+                        Lane::Normal => st.normal.push_front(id),
+                    }
+                    st.queued += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops the next runnable job when a slot and budget are available.
+    /// High lane first; within a lane, FIFO. Holding the lock, moves the
+    /// job to `Running` and reserves its thread grant.
+    fn pick_runnable(&self, st: &mut SchedState) -> Option<(u64, usize)> {
+        if st.draining || st.running >= self.inner.config.max_running || st.free_threads == 0 {
+            return None;
+        }
+        let id = st
+            .high
+            .front()
+            .copied()
+            .or_else(|| st.normal.front().copied())?;
+        let rec = st.jobs.get_mut(&id)?;
+        // Grant min(requested, free). A job never waits for more than one
+        // thread: shrinking the grant changes speed, not results, because
+        // `run_indexed` is bit-identical at any thread count.
+        let granted = rec.spec.threads.clamp(1, st.free_threads);
+        if st.high.front() == Some(&id) {
+            st.high.pop_front();
+        } else {
+            st.normal.pop_front();
+        }
+        st.queued = st.queued.saturating_sub(1);
+        st.running += 1;
+        st.free_threads -= granted;
+        rec.state = JobState::Running;
+        rec.granted = granted;
+        Some((id, granted))
+    }
+
+    /// Worker body: runs the job, then applies the outcome under the
+    /// lock and persists it.
+    fn run_worker(&self, id: u64, granted: usize) {
+        self.persist_state(id, JobState::Running, None);
+        let (spec, flags) = {
+            let st = lock_state(&self.inner);
+            match st.jobs.get(&id) {
+                Some(rec) => (rec.spec.clone(), Arc::clone(&rec.flags)),
+                None => return,
+            }
+        };
+        let dir = self.job_dir(id);
+        let sched = self.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut on_event = |ev: WatchEvent| {
+                let mut st = lock_state(&sched.inner);
+                if let Some(rec) = st.jobs.get_mut(&id) {
+                    rec.iterations_done = ev.iteration + 1;
+                    rec.events.push(ev);
+                }
+                drop(st);
+                sched.inner.cond.notify_all();
+            };
+            run_job(
+                &spec,
+                &dir,
+                granted,
+                &flags.cancel,
+                &flags.pause,
+                &mut on_event,
+            )
+        }));
+
+        let (state, error) = match result {
+            Ok(Ok(RunOutcome::Finished)) => (JobState::Done, None),
+            Ok(Ok(RunOutcome::Paused)) => (JobState::Checkpointed, None),
+            Ok(Ok(RunOutcome::Cancelled)) => (JobState::Cancelled, None),
+            Ok(Err(e)) => (JobState::Failed, Some(e.msg)),
+            Err(payload) => {
+                // A crp-check failure panics with the bundle path in its
+                // message; surface it to `status` instead of dying.
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                (JobState::Failed, Some(msg))
+            }
+        };
+
+        let mut st = lock_state(&self.inner);
+        st.running = st.running.saturating_sub(1);
+        st.free_threads += granted;
+        if let Some(rec) = st.jobs.get_mut(&id) {
+            rec.granted = 0;
+            // A cancel that raced the final iteration still wins.
+            rec.state = if rec.flags.cancel.load(Ordering::Acquire) && state != JobState::Done {
+                JobState::Cancelled
+            } else {
+                state
+            };
+            rec.error = error.clone();
+        }
+        drop(st);
+        self.persist_state(id, state, error.as_deref());
+        self.inner.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Workload;
+
+    fn tiny_spec(iters: usize) -> JobSpec {
+        JobSpec {
+            workload: Workload::Profile {
+                name: "ispd18_test1".to_string(),
+                scale: 800.0,
+            },
+            iterations: iters,
+            ..JobSpec::default()
+        }
+    }
+
+    fn sched(tag: &str, cap: usize) -> Scheduler {
+        let dir = std::env::temp_dir().join(format!("crp-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scheduler::new(SchedConfig {
+            data_dir: dir,
+            queue_capacity: cap,
+            total_threads: 2,
+            max_running: 2,
+        })
+        .unwrap()
+    }
+
+    fn wait_terminal(s: &Scheduler, id: u64) -> JobState {
+        let (_, state) = s.watch(id, usize::MAX).unwrap();
+        state
+    }
+
+    #[test]
+    fn submit_run_watch_completes() {
+        let s = sched("basic", 4);
+        let id = s.submit(tiny_spec(2)).unwrap();
+        let (events, state) = s.watch(id, 0).unwrap();
+        assert!(!events.is_empty());
+        let state = if state.is_terminal() {
+            state
+        } else {
+            wait_terminal(&s, id)
+        };
+        assert_eq!(state, JobState::Done);
+        let status = s.status(id).unwrap();
+        assert_eq!(status.iterations_done, 2);
+        assert!(s.data_dir().join("jobs/0/result.def").exists());
+    }
+
+    #[test]
+    fn queue_full_rejects_with_reason() {
+        let s = sched("full", 1);
+        // Saturate: 2 can start running, 1 sits queued, the next must be
+        // rejected. Submit quickly; jobs take long enough to overlap.
+        let mut accepted = 0;
+        let mut rejected = None;
+        for _ in 0..8 {
+            match s.submit(tiny_spec(50)) {
+                Ok(_) => accepted += 1,
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let e = rejected.expect("expected an admission rejection");
+        assert!(e.msg.contains("queue full"), "{e}");
+        assert!(accepted >= 1);
+    }
+
+    #[test]
+    fn cancel_queued_job_never_runs() {
+        let s = sched("cancel", 8);
+        // Two long jobs occupy both slots; the third stays queued.
+        let _a = s.submit(tiny_spec(6)).unwrap();
+        let _b = s.submit(tiny_spec(6)).unwrap();
+        let c = s.submit(tiny_spec(6)).unwrap();
+        let state = s.cancel(c).unwrap();
+        assert_eq!(state, JobState::Cancelled);
+        assert_eq!(s.status(c).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn unknown_job_is_an_error() {
+        let s = sched("unknown", 4);
+        assert!(s.status(99).is_err());
+        assert!(s.cancel(99).is_err());
+        assert!(s.watch(99, 0).is_err());
+    }
+
+    #[test]
+    fn drain_parks_running_jobs_checkpointed() {
+        let s = sched("drain", 8);
+        let id = s.submit(tiny_spec(50)).unwrap();
+        // Wait until it has produced at least one event, then drain.
+        let _ = s.watch(id, 0).unwrap();
+        s.drain();
+        let state = s.status(id).unwrap().state;
+        assert!(
+            state == JobState::Checkpointed || state == JobState::Done,
+            "after drain: {state:?}"
+        );
+        assert!(s.submit(tiny_spec(1)).is_err(), "draining must reject");
+    }
+
+    #[test]
+    fn recover_requeues_unfinished_jobs() {
+        let dir = std::env::temp_dir().join(format!("crp-sched-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SchedConfig {
+            data_dir: dir.clone(),
+            queue_capacity: 8,
+            total_threads: 2,
+            max_running: 2,
+        };
+        {
+            let s = Scheduler::new(config.clone()).unwrap();
+            let id = s.submit(tiny_spec(50)).unwrap();
+            let _ = s.watch(id, 0).unwrap(); // at least one iteration done
+            s.drain(); // park it with a checkpoint, like a graceful stop
+        }
+        // "New process": a fresh scheduler over the same data dir.
+        let s2 = Scheduler::new(config).unwrap();
+        let revived = s2.recover().unwrap();
+        assert_eq!(revived, 1);
+        let id = s2.status_all()[0].id;
+        let state = s2.status(id).unwrap().state;
+        assert!(
+            state == JobState::Queued || state == JobState::Running || state == JobState::Done,
+            "recovered into {state:?}"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! The TCP front end: a line-delimited JSON request/response protocol
+//! over plain `std::net` sockets and threads (no async runtime).
+//!
+//! Each connection carries any number of requests, one JSON object per
+//! line. Every request gets at least one response line of the form
+//! `{"ok":true,...}` or `{"ok":false,"error":"..."}`. The `watch` verb
+//! is the only streaming one: it emits one `{"ok":true,"event":...}`
+//! line per completed iteration and terminates with a
+//! `{"ok":true,"done":true,"state":...}` line once the job reaches a
+//! terminal state. See `DESIGN.md` §10 for the full protocol.
+
+use crate::driver::{RESULT_DEF_FILE, RESULT_GUIDE_FILE};
+use crate::error::ServeError;
+use crate::json::{parse, Json};
+use crate::scheduler::Scheduler;
+use crate::spec::{JobSpec, JobState};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running daemon front end.
+pub struct Server {
+    addr: SocketAddr,
+    scheduler: Scheduler,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the address cannot be bound.
+    pub fn start(addr: &str, scheduler: Scheduler) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::new(format!("cannot bind {addr}: {e}")))?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = Server {
+            addr: local,
+            scheduler: scheduler.clone(),
+            shutdown: Arc::clone(&shutdown),
+        };
+        std::thread::Builder::new()
+            .name("crpd-accept".to_string())
+            .spawn(move || accept_loop(&listener, &scheduler, &shutdown))
+            .map_err(|e| ServeError::new(format!("cannot spawn accept loop: {e}")))?;
+        Ok(server)
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client has requested shutdown.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until a client requests shutdown. The drain itself happens
+    /// in the handler (so the client's response confirms it); this just
+    /// parks the main thread.
+    pub fn wait_for_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    /// The scheduler behind this server.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+fn accept_loop(listener: &TcpListener, scheduler: &Scheduler, shutdown: &Arc<AtomicBool>) {
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let scheduler = scheduler.clone();
+                let shutdown = Arc::clone(shutdown);
+                let spawned = std::thread::Builder::new()
+                    .name("crpd-conn".to_string())
+                    .spawn(move || handle_conn(stream, &scheduler, &shutdown));
+                // A failed spawn drops the connection; the client sees EOF
+                // and can retry.
+                drop(spawned);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+}
+
+fn ok(fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Json::obj(all).to_string()
+}
+
+fn err(msg: &str) -> String {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))]).to_string()
+}
+
+fn handle_conn(stream: TcpStream, scheduler: &Scheduler, shutdown: &Arc<AtomicBool>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = handle_request(&line, scheduler, shutdown, &mut writer).is_err();
+        if done {
+            return;
+        }
+    }
+}
+
+/// Handles one request line; `Err` means the connection should close
+/// (client gone or shutdown acknowledged).
+fn handle_request(
+    line: &str,
+    scheduler: &Scheduler,
+    shutdown: &Arc<AtomicBool>,
+    writer: &mut TcpStream,
+) -> Result<(), ()> {
+    let req = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return send(writer, &err(&format!("malformed request: {e}"))),
+    };
+    let verb = req.get("verb").and_then(Json::as_str).unwrap_or("");
+    match verb {
+        "ping" => send(writer, &ok(vec![("pong", Json::Bool(true))])),
+        "submit" => {
+            let response = req
+                .get("spec")
+                .ok_or_else(|| ServeError::new("submit needs a `spec` object"))
+                .and_then(JobSpec::from_json)
+                .and_then(|spec| scheduler.submit(spec));
+            match response {
+                Ok(id) => send(writer, &ok(vec![("id", Json::Int(i128::from(id)))])),
+                Err(e) => send(writer, &err(&e.msg)),
+            }
+        }
+        "status" => match req.get("id").and_then(Json::as_u64) {
+            Some(id) => match scheduler.status(id) {
+                Ok(s) => send(writer, &ok(vec![("job", s.to_json())])),
+                Err(e) => send(writer, &err(&e.msg)),
+            },
+            None => {
+                let jobs = scheduler
+                    .status_all()
+                    .iter()
+                    .map(crate::scheduler::JobStatus::to_json)
+                    .collect();
+                send(writer, &ok(vec![("jobs", Json::Arr(jobs))]))
+            }
+        },
+        "watch" => {
+            let Some(id) = req.get("id").and_then(Json::as_u64) else {
+                return send(writer, &err("watch needs an integer `id`"));
+            };
+            let mut from = req.get("from").and_then(Json::as_usize).unwrap_or(0);
+            loop {
+                match scheduler.watch(id, from) {
+                    Ok((events, state)) => {
+                        for ev in &events {
+                            send(writer, &ok(vec![("event", ev.to_json())]))?;
+                        }
+                        from += events.len();
+                        if state.is_terminal() {
+                            return send(
+                                writer,
+                                &ok(vec![
+                                    ("done", Json::Bool(true)),
+                                    ("state", Json::str(state.as_str())),
+                                ]),
+                            );
+                        }
+                    }
+                    Err(e) => return send(writer, &err(&e.msg)),
+                }
+            }
+        }
+        "fetch" => {
+            let Some(id) = req.get("id").and_then(Json::as_u64) else {
+                return send(writer, &err("fetch needs an integer `id`"));
+            };
+            match scheduler.status(id) {
+                Ok(s) if s.state == JobState::Done => {
+                    let dir = scheduler.data_dir().join("jobs").join(id.to_string());
+                    let def = std::fs::read_to_string(dir.join(RESULT_DEF_FILE));
+                    let guide = std::fs::read_to_string(dir.join(RESULT_GUIDE_FILE));
+                    match (def, guide) {
+                        (Ok(def), Ok(guide)) => send(
+                            writer,
+                            &ok(vec![("def", Json::str(&def)), ("guide", Json::str(&guide))]),
+                        ),
+                        _ => send(writer, &err("results missing on disk")),
+                    }
+                }
+                Ok(s) => send(
+                    writer,
+                    &err(&format!("job {id} is {}, not done", s.state.as_str())),
+                ),
+                Err(e) => send(writer, &err(&e.msg)),
+            }
+        }
+        "cancel" => {
+            let Some(id) = req.get("id").and_then(Json::as_u64) else {
+                return send(writer, &err("cancel needs an integer `id`"));
+            };
+            match scheduler.cancel(id) {
+                Ok(state) => send(writer, &ok(vec![("state", Json::str(state.as_str()))])),
+                Err(e) => send(writer, &err(&e.msg)),
+            }
+        }
+        "shutdown" => {
+            // Drain first so the response doubles as the all-clear: every
+            // running job is parked `Checkpointed` (or finished) and
+            // persisted by the time the client reads this line.
+            scheduler.drain();
+            shutdown.store(true, Ordering::Release);
+            let _ = send(writer, &ok(vec![("drained", Json::Bool(true))]));
+            Err(())
+        }
+        other => send(writer, &err(&format!("unknown verb `{other}`"))),
+    }
+}
+
+/// Writes one response line; `Err` when the client is gone.
+fn send(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|_| ())
+}

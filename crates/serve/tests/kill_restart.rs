@@ -1,0 +1,148 @@
+//! Kill-and-restart integration: a real `crpd` child process is
+//! SIGKILLed mid-job, restarted over the same data directory, and must
+//! produce final results bit-identical to an uninterrupted run.
+
+use crp_serve::json::Json;
+use crp_serve::spec::{JobSpec, Workload};
+use crp_serve::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicBool;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn start_daemon(data_dir: &std::path::Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crpd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn crpd");
+    let stdout = child.stdout.take().expect("crpd stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read banner");
+    let addr = line
+        .trim()
+        .strip_prefix("crpd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+fn job_spec() -> JobSpec {
+    JobSpec {
+        workload: Workload::Profile {
+            name: "ispd18_test1".to_string(),
+            scale: 300.0,
+        },
+        iterations: 8,
+        checkpoint_every: 1,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn sigkill_mid_job_resumes_bit_identically() {
+    let data_dir = std::env::temp_dir().join(format!("crp-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    // Uninterrupted reference, computed in-process with the same spec.
+    let ref_dir = data_dir.join("reference");
+    std::fs::create_dir_all(&ref_dir).unwrap();
+    let no = AtomicBool::new(false);
+    crp_serve::run_job(&job_spec(), &ref_dir, 1, &no, &no, &mut |_| {}).unwrap();
+    let ref_def = std::fs::read_to_string(ref_dir.join("result.def")).unwrap();
+    let ref_guide = std::fs::read_to_string(ref_dir.join("result.guide")).unwrap();
+
+    // Daemon #1: submit, wait for two iterations, SIGKILL mid-flight.
+    let daemon_dir = data_dir.join("daemon");
+    let mut d1 = start_daemon(&daemon_dir);
+    let id = {
+        let mut c = Client::connect(&d1.addr).unwrap();
+        let v = c
+            .call(&Json::obj(vec![
+                ("verb", Json::str("submit")),
+                ("spec", job_spec().to_json()),
+            ]))
+            .unwrap();
+        v.get("id").and_then(Json::as_u64).unwrap()
+    };
+    {
+        let mut c = Client::connect(&d1.addr).unwrap();
+        c.send(&Json::obj(vec![
+            ("verb", Json::str("watch")),
+            ("id", Json::Int(i128::from(id))),
+        ]))
+        .unwrap();
+        let mut seen = 0;
+        while seen < 2 {
+            let v = c.read_response().unwrap();
+            if v.get("event").is_some() {
+                seen += 1;
+            }
+            assert_ne!(
+                v.get("done").and_then(Json::as_bool),
+                Some(true),
+                "job finished before we could kill the daemon; slow the spec down"
+            );
+        }
+    }
+    d1.child.kill().expect("SIGKILL crpd"); // SIGKILL on unix: no cleanup runs
+    let _ = d1.child.wait();
+
+    // Daemon #2 over the same data dir: must recover and finish the job.
+    let d2 = start_daemon(&daemon_dir);
+    let mut c = Client::connect(&d2.addr).unwrap();
+    c.send(&Json::obj(vec![
+        ("verb", Json::str("watch")),
+        ("id", Json::Int(i128::from(id))),
+    ]))
+    .unwrap();
+    loop {
+        let v = c.read_response().unwrap();
+        if v.get("done").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(v.get("state").and_then(Json::as_str), Some("done"));
+            break;
+        }
+    }
+    let v = c
+        .call(&Json::obj(vec![
+            ("verb", Json::str("fetch")),
+            ("id", Json::Int(i128::from(id))),
+        ]))
+        .unwrap();
+    let def = v.get("def").and_then(Json::as_str).unwrap();
+    let guide = v.get("guide").and_then(Json::as_str).unwrap();
+    assert_eq!(
+        def, ref_def,
+        "post-crash DEF diverged from uninterrupted run"
+    );
+    assert_eq!(
+        guide, ref_guide,
+        "post-crash guides diverged from uninterrupted run"
+    );
+
+    // Clean shutdown drains and exits the process.
+    let v = c
+        .call(&Json::obj(vec![("verb", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(v.get("drained").and_then(Json::as_bool), Some(true));
+    let mut d2 = d2;
+    let status = d2.child.wait().expect("crpd exit status");
+    assert!(status.success(), "crpd exited with {status}");
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

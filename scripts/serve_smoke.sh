@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the crpd daemon and crp-cli client:
+# start a daemon on an ephemeral port, submit a small workload, watch it
+# to completion, fetch the results, and shut the daemon down cleanly.
+set -euo pipefail
+
+CRPD="${CRPD:-target/release/crpd}"
+CLI="${CLI:-target/release/crp-cli}"
+DATA_DIR="$(mktemp -d)"
+OUT_DIR="$(mktemp -d)"
+trap 'kill "$CRPD_PID" 2>/dev/null || true; rm -rf "$DATA_DIR" "$OUT_DIR"' EXIT
+
+"$CRPD" --addr 127.0.0.1:0 --data-dir "$DATA_DIR" --threads 2 \
+  > "$DATA_DIR/crpd.out" &
+CRPD_PID=$!
+
+# The first stdout line is `crpd listening on <addr>`.
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^crpd listening on //p' "$DATA_DIR/crpd.out" | head -n1)"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "crpd never printed its address" >&2; exit 1; }
+echo "daemon at $ADDR"
+
+"$CLI" --addr "$ADDR" ping
+
+SUBMIT="$("$CLI" --addr "$ADDR" submit \
+  --profile ispd18_test1 --scale 400 --iterations 3 --seed 7)"
+echo "$SUBMIT"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "no job id in submit response" >&2; exit 1; }
+
+"$CLI" --addr "$ADDR" watch "$JOB_ID" | tail -n 2
+"$CLI" --addr "$ADDR" status "$JOB_ID" | grep -q '"state":"done"'
+
+"$CLI" --addr "$ADDR" fetch "$JOB_ID" --out "$OUT_DIR"
+test -s "$OUT_DIR/job-$JOB_ID.def"
+test -s "$OUT_DIR/job-$JOB_ID.guide"
+grep -q "^VERSION" "$OUT_DIR/job-$JOB_ID.def"
+
+"$CLI" --addr "$ADDR" shutdown
+wait "$CRPD_PID"
+echo "serve smoke test passed"
