@@ -5,13 +5,14 @@
 //!
 //! commands:
 //!   ping
-//!   submit [--profile NAME] [--scale F] [--lef LEF --def DEF]
+//!   submit [--tenant NAME] [--profile NAME] [--scale F] [--lef LEF --def DEF]
 //!          [--iterations N] [--threads N] [--priority high|normal]
 //!          [--checkpoint-every N] [--seed N]
 //!   status [ID]
 //!   watch ID [--from N]
 //!   fetch ID [--out DIR]
 //!   cancel ID
+//!   metrics
 //!   shutdown
 //! ```
 //!
@@ -65,6 +66,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{v}");
             Ok(())
         }
+        "metrics" => {
+            let v = client.call(&verb("metrics")).map_err(|e| e.msg)?;
+            println!("{v}");
+            Ok(())
+        }
         "shutdown" => {
             let v = client.call(&verb("shutdown")).map_err(|e| e.msg)?;
             println!("{v}");
@@ -102,6 +108,9 @@ fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().cloned().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
+            "--tenant" => {
+                spec_fields.push(("tenant".to_string(), Json::str(&value("--tenant")?)));
+            }
             "--profile" => profile = Some(value("--profile")?),
             "--scale" => {
                 scale = value("--scale")?

@@ -3,7 +3,22 @@
 //! ```text
 //! crpd [--addr 127.0.0.1:7171] [--data-dir DIR] [--queue-cap N]
 //!      [--threads N] [--max-running N]
+//!      [--max-conns N] [--conn-workers N]
+//!      [--tenant-max-queued N] [--tenant-max-running N] [--tenant-share N]
+//!      [--quota NAME=QUEUED,RUNNING,SHARE]...
 //! ```
+//!
+//! Tenancy: every job belongs to a tenant (the submit spec's `tenant`
+//! field, default `"default"`). `--tenant-max-queued`,
+//! `--tenant-max-running`, and `--tenant-share` tighten the quota
+//! applied to tenants without an explicit override (each defaults to
+//! the corresponding daemon-wide limit); `--quota` pins one tenant's
+//! quota exactly, and may repeat. A tenant's share doubles as its
+//! fair-share dispatch weight.
+//!
+//! Connections are served by a bounded pool: at most `--max-conns`
+//! clients at once (default 512), multiplexed over `--conn-workers`
+//! socket threads (default 2).
 //!
 //! On startup the daemon recovers every unfinished job found under
 //! `--data-dir` (resuming from checkpoints), binds the address (port 0
@@ -12,46 +27,120 @@
 //! drains: running jobs are parked `Checkpointed` at their next
 //! iteration boundary and the process exits cleanly.
 
+use crp_serve::fairshare::TenantQuota;
 use crp_serve::scheduler::SchedConfig;
+use crp_serve::server::PoolConfig;
 use crp_serve::{Scheduler, Server};
 use std::path::PathBuf;
 
 struct Args {
     addr: String,
     config: SchedConfig,
+    pool: PoolConfig,
+    tenant_max_queued: Option<usize>,
+    tenant_max_running: Option<usize>,
+    tenant_share: Option<usize>,
+}
+
+/// Parses `NAME=QUEUED,RUNNING,SHARE` into a per-tenant quota override.
+fn parse_quota(s: &str) -> Result<(String, TenantQuota), String> {
+    let (name, nums) = s
+        .split_once('=')
+        .ok_or_else(|| format!("--quota wants NAME=QUEUED,RUNNING,SHARE, got `{s}`"))?;
+    let parts: Vec<&str> = nums.split(',').collect();
+    if name.is_empty() || parts.len() != 3 {
+        return Err(format!(
+            "--quota wants NAME=QUEUED,RUNNING,SHARE, got `{s}`"
+        ));
+    }
+    let parse = |what: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|e| format!("bad {what} in --quota `{s}`: {e}"))
+    };
+    Ok((
+        name.to_string(),
+        TenantQuota {
+            max_queued: parse("QUEUED", parts[0])?,
+            max_running: parse("RUNNING", parts[1])?,
+            thread_share: parse("SHARE", parts[2])?,
+        },
+    ))
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7171".to_string(),
         config: SchedConfig::default(),
+        pool: PoolConfig::default(),
+        tenant_max_queued: None,
+        tenant_max_running: None,
+        tenant_share: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        let parse_usize = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("bad {name}: {e}"))
+        };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--data-dir" => args.config.data_dir = PathBuf::from(value("--data-dir")?),
             "--queue-cap" => {
-                args.config.queue_capacity = value("--queue-cap")?
-                    .parse()
-                    .map_err(|e| format!("bad --queue-cap: {e}"))?;
+                args.config.queue_capacity = parse_usize("--queue-cap", value("--queue-cap")?)?;
             }
             "--threads" => {
-                args.config.total_threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
+                args.config.total_threads = parse_usize("--threads", value("--threads")?)?;
             }
             "--max-running" => {
-                args.config.max_running = value("--max-running")?
-                    .parse()
-                    .map_err(|e| format!("bad --max-running: {e}"))?;
+                args.config.max_running = parse_usize("--max-running", value("--max-running")?)?;
             }
+            "--max-conns" => {
+                args.pool.max_conns = parse_usize("--max-conns", value("--max-conns")?)?;
+            }
+            "--conn-workers" => {
+                args.pool.workers = parse_usize("--conn-workers", value("--conn-workers")?)?;
+            }
+            "--tenant-max-queued" => {
+                args.tenant_max_queued = Some(parse_usize(
+                    "--tenant-max-queued",
+                    value("--tenant-max-queued")?,
+                )?);
+            }
+            "--tenant-max-running" => {
+                args.tenant_max_running = Some(parse_usize(
+                    "--tenant-max-running",
+                    value("--tenant-max-running")?,
+                )?);
+            }
+            "--tenant-share" => {
+                args.tenant_share = Some(parse_usize("--tenant-share", value("--tenant-share")?)?);
+            }
+            "--quota" => args.config.quotas.push(parse_quota(&value("--quota")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.config.total_threads == 0 || args.config.max_running == 0 {
         return Err("--threads and --max-running must be positive".to_string());
+    }
+    if args.pool.max_conns == 0 || args.pool.workers == 0 {
+        return Err("--max-conns and --conn-workers must be positive".to_string());
+    }
+    // Any per-tenant default flag tightens the default quota; fields not
+    // given stay at the daemon-wide limits.
+    if args.tenant_max_queued.is_some()
+        || args.tenant_max_running.is_some()
+        || args.tenant_share.is_some()
+    {
+        let base = TenantQuota::unlimited_within(
+            args.config.queue_capacity,
+            args.config.max_running,
+            args.config.total_threads,
+        );
+        args.config.default_quota = Some(TenantQuota {
+            max_queued: args.tenant_max_queued.unwrap_or(base.max_queued),
+            max_running: args.tenant_max_running.unwrap_or(base.max_running),
+            thread_share: args.tenant_share.unwrap_or(base.thread_share),
+        });
     }
     Ok(args)
 }
@@ -66,7 +155,7 @@ fn run() -> Result<(), String> {
     if recovered > 0 {
         eprintln!("crpd: recovered {recovered} unfinished job(s)");
     }
-    let server = Server::start(&args.addr, scheduler).map_err(|e| e.msg)?;
+    let server = Server::start_with(&args.addr, scheduler, args.pool).map_err(|e| e.msg)?;
     // Parseable by wrappers and tests (resolves port 0).
     println!("crpd listening on {}", server.local_addr());
     use std::io::Write;

@@ -198,6 +198,7 @@ mod tests {
 
     fn spec() -> JobSpec {
         JobSpec {
+            tenant: "default".to_string(),
             workload: Workload::Profile {
                 name: "ispd18_test1".to_string(),
                 scale: 800.0,

@@ -8,9 +8,16 @@
 //!
 //! - **admission control**: a bounded queue with two priority lanes that
 //!   rejects (with a reason) instead of buffering unboundedly,
+//! - **multi-tenant fair share**: every job belongs to a tenant with its
+//!   own quotas (max queued, max running, thread share); dispatch is
+//!   deficit round robin across tenants, so no tenant can starve
+//!   another (`fairshare`),
 //! - **thread budgeting**: each job declares how many worker threads it
 //!   may use; the scheduler partitions the machine's cores across
 //!   concurrently running jobs and never oversubscribes,
+//! - **metrics**: a `metrics` verb snapshots queue depths per tenant and
+//!   lane, thread utilization, admission counters, price-cache hit
+//!   rates, and per-verb latency histograms,
 //! - **checkpoint/resume**: between iterations a job's complete flow
 //!   state (placement, routes, grid epoch, RNG stream position, history
 //!   sets, timers) is written atomically to disk, so a SIGKILLed daemon
@@ -28,7 +35,9 @@ pub mod checkpoint;
 pub mod client;
 pub mod driver;
 pub mod error;
+pub mod fairshare;
 pub mod json;
+pub mod metrics;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
@@ -37,7 +46,9 @@ pub use checkpoint::{Checkpoint, SavedCell};
 pub use client::Client;
 pub use driver::{run_job, RunOutcome, WatchEvent};
 pub use error::ServeError;
+pub use fairshare::{FinishKind, Ledger, TenantCounters, TenantQuota, TenantView};
 pub use json::{parse, Json, JsonError};
-pub use scheduler::{JobStatus, SchedConfig, Scheduler};
+pub use metrics::{LatencyHistogram, ServerMetrics, VerbStats};
+pub use scheduler::{JobStatus, SchedConfig, SchedMetrics, Scheduler};
 pub use server::Server;
 pub use spec::{JobSpec, JobState, Lane, Workload};

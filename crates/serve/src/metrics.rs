@@ -1,0 +1,299 @@
+//! Server-side request metrics: per-verb latency histograms and
+//! connection-pool counters behind the `metrics` protocol verb.
+//!
+//! Latencies land in log2 microsecond buckets (bucket `i` covers
+//! `[2^i, 2^(i+1))` µs), so a histogram is 40 counters with no
+//! allocation on the hot path and percentile reads that never scan
+//! request logs. A reported percentile is the **upper bound** of the
+//! bucket holding that rank — a conservative estimate whose relative
+//! error is bounded by the bucket width (at most 2×).
+//!
+//! All counters sit behind one mutex. Requests on a 1-CPU box are
+//! serialized anyway, and a mutex keeps the module free of atomic
+//! orderings entirely; the hold time is a few adds.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log2 buckets: `2^40` µs ≈ 12.7 days, far beyond any
+/// request latency the daemon can produce.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+/// The log2 bucket index for a latency of `us` microseconds.
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        return 0;
+    }
+    let floor_log2 = (63 - us.leading_zeros()) as usize;
+    floor_log2.min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, us: u64) {
+        self.counts[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observation recorded, in µs.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The mean latency in µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the `p`-th percentile latency in µs
+    /// (`p` in `[0, 1]`): the top edge of the bucket holding that rank,
+    /// clamped to the observed maximum. 0 when empty.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // rank in 1..=count; ceil without going through floats twice
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = 1u64 << (i + 1);
+                return upper.min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+
+    /// Serializes count/mean/max and the p50/p95/p99 estimates.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(i128::from(self.count))),
+            ("mean_us", Json::Int(i128::from(self.mean_us()))),
+            ("p50_us", Json::Int(i128::from(self.percentile_us(0.50)))),
+            ("p95_us", Json::Int(i128::from(self.percentile_us(0.95)))),
+            ("p99_us", Json::Int(i128::from(self.percentile_us(0.99)))),
+            ("max_us", Json::Int(i128::from(self.max_us))),
+        ])
+    }
+}
+
+/// Request statistics for one protocol verb.
+#[derive(Debug, Clone, Default)]
+pub struct VerbStats {
+    /// Requests answered (ok or error envelope).
+    pub count: u64,
+    /// Requests answered with an error envelope.
+    pub errors: u64,
+    /// Handling latency (request parsed → response queued).
+    pub latency: LatencyHistogram,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    verbs: BTreeMap<String, VerbStats>,
+    conns_accepted: u64,
+    conns_rejected: u64,
+    conns_open: u64,
+}
+
+/// Shared server-side metrics: per-verb latency histograms plus
+/// connection-pool accept/reject/open counters. Cheap to share
+/// (`Arc<ServerMetrics>`); all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+fn lock(inner: &Mutex<MetricsInner>) -> std::sync::MutexGuard<'_, MetricsInner> {
+    // Counters stay coherent even if a holder panicked mid-add.
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ServerMetrics {
+    /// Records one handled request for `verb`.
+    pub fn record(&self, verb: &str, ok: bool, us: u64) {
+        let mut m = lock(&self.inner);
+        let stats = m.verbs.entry(verb.to_string()).or_default();
+        stats.count += 1;
+        if !ok {
+            stats.errors += 1;
+        }
+        stats.latency.record(us);
+    }
+
+    /// Records a connection entering the pool.
+    pub fn conn_opened(&self) {
+        let mut m = lock(&self.inner);
+        m.conns_accepted += 1;
+        m.conns_open += 1;
+    }
+
+    /// Records a pooled connection closing.
+    pub fn conn_closed(&self) {
+        let mut m = lock(&self.inner);
+        m.conns_open = m.conns_open.saturating_sub(1);
+    }
+
+    /// Records a connection turned away because the pool was full.
+    pub fn conn_rejected(&self) {
+        lock(&self.inner).conns_rejected += 1;
+    }
+
+    /// Connections currently open in the pool.
+    #[must_use]
+    pub fn open_conns(&self) -> u64 {
+        lock(&self.inner).conns_open
+    }
+
+    /// A snapshot of one verb's stats, if the verb has been seen.
+    #[must_use]
+    pub fn verb(&self, verb: &str) -> Option<VerbStats> {
+        lock(&self.inner).verbs.get(verb).cloned()
+    }
+
+    /// Serializes the whole snapshot for the `metrics` verb.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let m = lock(&self.inner);
+        let verbs = m
+            .verbs
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Int(i128::from(s.count))),
+                        ("errors", Json::Int(i128::from(s.errors))),
+                        ("latency", s.latency.to_json()),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "connections",
+                Json::obj(vec![
+                    ("accepted", Json::Int(i128::from(m.conns_accepted))),
+                    ("rejected", Json::Int(i128::from(m.conns_rejected))),
+                    ("open", Json::Int(i128::from(m.conns_open))),
+                ]),
+            ),
+            ("verbs", Json::Obj(verbs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_are_upper_bounds_and_ordered() {
+        let mut h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_us(0.50);
+        let p95 = h.percentile_us(0.95);
+        let p99 = h.percentile_us(0.99);
+        // Each percentile is >= the true value and percentiles are
+        // monotone.
+        assert!(p50 >= 50, "{p50}");
+        assert!(p95 >= 5000, "{p95}");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // The estimate never exceeds the observed maximum.
+        assert!(p99 <= h.max_us());
+        assert_eq!(h.percentile_us(1.0), h.max_us());
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn server_metrics_track_verbs_and_conns() {
+        let m = ServerMetrics::default();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_rejected();
+        m.conn_closed();
+        m.record("submit", true, 120);
+        m.record("submit", false, 80);
+        m.record("status", true, 15);
+        let submit = m.verb("submit").unwrap();
+        assert_eq!(submit.count, 2);
+        assert_eq!(submit.errors, 1);
+        assert_eq!(submit.latency.count(), submit.count);
+        let v = m.to_json();
+        let conns = v.get("connections").unwrap();
+        assert_eq!(conns.get("accepted").and_then(Json::as_u64), Some(2));
+        assert_eq!(conns.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(conns.get("open").and_then(Json::as_u64), Some(1));
+        let verbs = v.get("verbs").unwrap();
+        assert_eq!(
+            verbs
+                .get("status")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Snapshot parses back through the wire format.
+        let text = v.to_string();
+        assert!(crate::json::parse(&text).is_ok());
+    }
+}

@@ -1,13 +1,15 @@
-//! The job scheduler: bounded admission, priority lanes, thread-budget
-//! partitioning, dispatch, and crash recovery.
+//! The job scheduler: bounded admission with per-tenant quotas,
+//! deficit-round-robin fair-share dispatch, thread-budget partitioning,
+//! and crash recovery.
 //!
 //! One mutex + condvar protect all scheduler state. A dedicated
-//! dispatcher thread pops the highest-priority runnable job whenever
-//! both a worker slot and enough thread budget are free, and spawns a
-//! worker thread for it. Workers run [`run_job`] under `catch_unwind`,
-//! so a panicking flow (e.g. a `crp-check` invariant failure) marks the
-//! job `Failed` with the diagnostic-bundle path instead of killing the
-//! daemon.
+//! dispatcher thread pops the next runnable job — chosen by the
+//! [`Ledger`]'s deficit round robin across tenants, high lane before
+//! normal within a tenant — whenever a worker slot and enough thread
+//! budget are free, and spawns a worker thread for it. Workers run
+//! [`run_job`] under `catch_unwind`, so a panicking flow (e.g. a
+//! `crp-check` invariant failure) marks the job `Failed` with the
+//! diagnostic-bundle path instead of killing the daemon.
 //!
 //! Every state transition is persisted to `jobs/<id>/state.json` before
 //! it is observable over the wire, so a SIGKILL at any instant leaves a
@@ -17,9 +19,10 @@
 
 use crate::driver::{run_job, RunOutcome, WatchEvent};
 use crate::error::ServeError;
+use crate::fairshare::{FinishKind, Ledger, TenantQuota, TenantView};
 use crate::json::{parse, Json};
 use crate::spec::{JobSpec, JobState, Lane};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -36,6 +39,11 @@ pub struct SchedConfig {
     pub total_threads: usize,
     /// Maximum jobs running concurrently.
     pub max_running: usize,
+    /// Quota for tenants without an explicit override. `None` means "no
+    /// tighter than the daemon-wide limits above".
+    pub default_quota: Option<TenantQuota>,
+    /// Per-tenant quota overrides.
+    pub quotas: Vec<(String, TenantQuota)>,
 }
 
 impl Default for SchedConfig {
@@ -45,6 +53,8 @@ impl Default for SchedConfig {
             queue_capacity: 16,
             total_threads: 4,
             max_running: 2,
+            default_quota: None,
+            quotas: Vec::new(),
         }
     }
 }
@@ -70,16 +80,35 @@ struct JobRecord {
     /// Per-iteration events observed so far (resume-aware: prefilled
     /// from the checkpoint's reports on recovery).
     events: Vec<WatchEvent>,
+    /// Cumulative price-cache hit/miss counters from the job's latest
+    /// event (the flow's timers accumulate across iterations and survive
+    /// checkpoint restore, so this is a per-job lifetime total).
+    cache_hits: u64,
+    cache_misses: u64,
     flags: Arc<JobFlags>,
 }
 
-#[derive(Debug, Default)]
+impl JobRecord {
+    fn new(spec: JobSpec, state: JobState) -> JobRecord {
+        JobRecord {
+            spec,
+            state,
+            error: None,
+            iterations_done: 0,
+            granted: 0,
+            events: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            flags: Arc::new(JobFlags::default()),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct SchedState {
     jobs: BTreeMap<u64, JobRecord>,
-    high: VecDeque<u64>,
-    normal: VecDeque<u64>,
+    ledger: Ledger,
     next_id: u64,
-    queued: usize,
     running: usize,
     free_threads: usize,
     draining: bool,
@@ -105,6 +134,8 @@ struct SchedInner {
 pub struct JobStatus {
     /// Job id.
     pub id: u64,
+    /// The tenant the job is accounted to.
+    pub tenant: String,
     /// Lifecycle state.
     pub state: JobState,
     /// Scheduling lane.
@@ -127,6 +158,7 @@ impl JobStatus {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("id", Json::Int(i128::from(self.id))),
+            ("tenant", Json::str(&self.tenant)),
             ("state", Json::str(self.state.as_str())),
             ("priority", Json::str(self.priority.as_str())),
             ("iterations_done", Json::Int(self.iterations_done as i128)),
@@ -143,6 +175,124 @@ impl JobStatus {
     }
 }
 
+/// A point-in-time snapshot of the scheduler for the `metrics` verb:
+/// queue depths per tenant and lane, grant utilization, admission
+/// counters, job-state census, and aggregated price-cache statistics.
+#[derive(Debug, Clone)]
+pub struct SchedMetrics {
+    /// Global queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs queued across all tenants.
+    pub queued: usize,
+    /// Jobs running.
+    pub running: usize,
+    /// Maximum concurrently running jobs.
+    pub max_running: usize,
+    /// Daemon-wide worker-thread budget.
+    pub total_threads: usize,
+    /// Threads not currently granted.
+    pub free_threads: usize,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+    /// Per-tenant views, in name order.
+    pub tenants: Vec<TenantView>,
+    /// Count of jobs per lifecycle state, by wire name.
+    pub states: BTreeMap<&'static str, usize>,
+    /// Price-cache hits summed over every known job's latest timers.
+    pub cache_hits: u64,
+    /// Price-cache misses summed over every known job's latest timers.
+    pub cache_misses: u64,
+}
+
+impl SchedMetrics {
+    /// Serializes the snapshot for the wire.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let c = t.counters;
+                (
+                    t.name.clone(),
+                    Json::obj(vec![
+                        ("queued_high", Json::Int(t.queued_high as i128)),
+                        ("queued_normal", Json::Int(t.queued_normal as i128)),
+                        ("running", Json::Int(t.running as i128)),
+                        ("threads_in_use", Json::Int(t.threads_in_use as i128)),
+                        ("deficit", Json::Int(i128::from(t.deficit))),
+                        (
+                            "quota",
+                            Json::obj(vec![
+                                ("max_queued", Json::Int(t.quota.max_queued as i128)),
+                                ("max_running", Json::Int(t.quota.max_running as i128)),
+                                ("thread_share", Json::Int(t.quota.thread_share as i128)),
+                            ]),
+                        ),
+                        ("admitted", Json::Int(i128::from(c.admitted))),
+                        ("rejected", Json::Int(i128::from(c.rejected))),
+                        ("dispatched", Json::Int(i128::from(c.dispatched))),
+                        ("completed", Json::Int(i128::from(c.completed))),
+                        ("failed", Json::Int(i128::from(c.failed))),
+                        ("cancelled", Json::Int(i128::from(c.cancelled))),
+                        ("parked", Json::Int(i128::from(c.parked))),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        let states = self
+            .states
+            .iter()
+            .map(|(&name, &n)| (name.to_string(), Json::Int(n as i128)))
+            .collect::<Vec<_>>();
+        let total_cache = self.cache_hits + self.cache_misses;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if total_cache > 0 {
+            Json::Float(self.cache_hits as f64 / total_cache as f64)
+        } else {
+            Json::Null
+        };
+        let in_use = self.total_threads.saturating_sub(self.free_threads);
+        #[allow(clippy::cast_precision_loss)]
+        let utilization = if self.total_threads > 0 {
+            Json::Float(in_use as f64 / self.total_threads as f64)
+        } else {
+            Json::Null
+        };
+        Json::obj(vec![
+            (
+                "queue",
+                Json::obj(vec![
+                    ("capacity", Json::Int(self.queue_capacity as i128)),
+                    ("queued", Json::Int(self.queued as i128)),
+                    ("running", Json::Int(self.running as i128)),
+                    ("max_running", Json::Int(self.max_running as i128)),
+                    ("draining", Json::Bool(self.draining)),
+                ]),
+            ),
+            (
+                "threads",
+                Json::obj(vec![
+                    ("total", Json::Int(self.total_threads as i128)),
+                    ("free", Json::Int(self.free_threads as i128)),
+                    ("in_use", Json::Int(in_use as i128)),
+                    ("utilization", utilization),
+                ]),
+            ),
+            ("tenants", Json::Obj(tenants)),
+            ("states", Json::Obj(states)),
+            (
+                "price_cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(i128::from(self.cache_hits))),
+                    ("misses", Json::Int(i128::from(self.cache_misses))),
+                    ("hit_rate", hit_rate),
+                ]),
+            ),
+        ])
+    }
+}
+
 fn lock_state(inner: &SchedInner) -> std::sync::MutexGuard<'_, SchedState> {
     // A worker that panicked between state writes poisons nothing
     // observable: all invariants are re-established under this lock.
@@ -150,6 +300,20 @@ fn lock_state(inner: &SchedInner) -> std::sync::MutexGuard<'_, SchedState> {
         .state
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Extracts the cumulative price-cache counters from a watch event's
+/// timers payload (`StageTimers::to_json` output).
+fn cache_counters(timers_json: &str) -> (u64, u64) {
+    match parse(timers_json) {
+        Ok(v) => (
+            v.get("ecc_cache_hits").and_then(Json::as_u64).unwrap_or(0),
+            v.get("ecc_cache_misses")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        ),
+        Err(_) => (0, 0),
+    }
 }
 
 impl Scheduler {
@@ -163,12 +327,20 @@ impl Scheduler {
     pub fn new(config: SchedConfig) -> Result<Scheduler, ServeError> {
         std::fs::create_dir_all(config.data_dir.join("jobs"))?;
         let free_threads = config.total_threads.max(1);
+        let default_quota = config.default_quota.unwrap_or_else(|| {
+            TenantQuota::unlimited_within(config.queue_capacity, config.max_running, free_threads)
+        });
+        let ledger = Ledger::new(config.queue_capacity, default_quota, config.quotas.clone());
         let sched = Scheduler {
             inner: Arc::new(SchedInner {
                 config,
                 state: Mutex::new(SchedState {
+                    jobs: BTreeMap::new(),
+                    ledger,
+                    next_id: 0,
+                    running: 0,
                     free_threads,
-                    ..SchedState::default()
+                    draining: false,
                 }),
                 cond: Condvar::new(),
             }),
@@ -247,31 +419,19 @@ impl Scheduler {
         let ckpt = crate::checkpoint::Checkpoint::load(&dir.join(crate::driver::CHECKPOINT_FILE))
             .unwrap_or(None);
         let iterations_done = ckpt.as_ref().map_or(0, |c| c.iterations_done);
-        let events = Vec::new();
 
         let mut st = lock_state(&self.inner);
         st.next_id = st.next_id.max(id + 1);
         let revive = !state.is_terminal();
         let record_state = if revive { JobState::Queued } else { state };
         let lane = spec.priority;
-        st.jobs.insert(
-            id,
-            JobRecord {
-                spec,
-                state: record_state,
-                error,
-                iterations_done,
-                granted: 0,
-                events,
-                flags: Arc::new(JobFlags::default()),
-            },
-        );
+        let tenant = spec.tenant.clone();
+        let mut rec = JobRecord::new(spec, record_state);
+        rec.error = error;
+        rec.iterations_done = iterations_done;
+        st.jobs.insert(id, rec);
         if revive {
-            match lane {
-                Lane::High => st.high.push_back(id),
-                Lane::Normal => st.normal.push_back(id),
-            }
-            st.queued += 1;
+            st.ledger.enqueue_recovered(&tenant, lane, id);
         }
         drop(st);
         if revive {
@@ -280,7 +440,8 @@ impl Scheduler {
         Ok(revive)
     }
 
-    /// Admits a job or rejects it with a reason (queue full / draining).
+    /// Admits a job or rejects it with a reason (queue full, tenant
+    /// quota full, or draining).
     ///
     /// # Errors
     ///
@@ -293,31 +454,13 @@ impl Scheduler {
             if st.draining {
                 return Err(ServeError::new("daemon is draining; not accepting jobs"));
             }
-            if st.queued >= self.inner.config.queue_capacity {
-                return Err(ServeError::new(format!(
-                    "queue full ({} queued, capacity {})",
-                    st.queued, self.inner.config.queue_capacity
-                )));
-            }
             id = st.next_id;
+            st.ledger
+                .admit(&spec.tenant, spec.priority, id)
+                .map_err(ServeError::new)?;
             st.next_id += 1;
-            match spec.priority {
-                Lane::High => st.high.push_back(id),
-                Lane::Normal => st.normal.push_back(id),
-            }
-            st.queued += 1;
-            st.jobs.insert(
-                id,
-                JobRecord {
-                    spec: spec.clone(),
-                    state: JobState::Queued,
-                    error: None,
-                    iterations_done: 0,
-                    granted: 0,
-                    events: Vec::new(),
-                    flags: Arc::new(JobFlags::default()),
-                },
-            );
+            st.jobs
+                .insert(id, JobRecord::new(spec.clone(), JobState::Queued));
         }
         let dir = self.job_dir(id);
         std::fs::create_dir_all(&dir)?;
@@ -340,17 +483,18 @@ impl Scheduler {
             .get(&id)
             .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
         let state = rec.state;
+        let tenant = rec.spec.tenant.clone();
         match state {
             JobState::Queued | JobState::Checkpointed => {
-                let rec = st
-                    .jobs
-                    .get_mut(&id)
-                    .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
-                rec.state = JobState::Cancelled;
-                rec.flags.cancel.store(true, Ordering::Release);
-                st.high.retain(|&j| j != id);
-                st.normal.retain(|&j| j != id);
-                st.queued = st.queued.saturating_sub(1);
+                // A queued job sits in a lane; a checkpointed job was
+                // already struck from the ledger when it parked.
+                if state == JobState::Queued {
+                    st.ledger.cancel_queued(&tenant, id);
+                }
+                if let Some(rec) = st.jobs.get_mut(&id) {
+                    rec.state = JobState::Cancelled;
+                    rec.flags.cancel.store(true, Ordering::Release);
+                }
                 drop(st);
                 self.persist_state(id, JobState::Cancelled, None);
                 self.inner.cond.notify_all();
@@ -361,6 +505,20 @@ impl Scheduler {
                 Ok(JobState::Running) // will transition at the boundary
             }
             terminal => Ok(terminal),
+        }
+    }
+
+    fn status_of(rec: &JobRecord, id: u64) -> JobStatus {
+        JobStatus {
+            id,
+            tenant: rec.spec.tenant.clone(),
+            state: rec.state,
+            priority: rec.spec.priority,
+            iterations_done: rec.iterations_done,
+            iterations_total: rec.spec.iterations,
+            granted_threads: rec.granted,
+            error: rec.error.clone(),
+            last_event: rec.events.last().cloned(),
         }
     }
 
@@ -375,16 +533,7 @@ impl Scheduler {
             .jobs
             .get(&id)
             .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
-        Ok(JobStatus {
-            id,
-            state: rec.state,
-            priority: rec.spec.priority,
-            iterations_done: rec.iterations_done,
-            iterations_total: rec.spec.iterations,
-            granted_threads: rec.granted,
-            error: rec.error.clone(),
-            last_event: rec.events.last().cloned(),
-        })
+        Ok(Self::status_of(rec, id))
     }
 
     /// Status of every known job, in id order.
@@ -393,17 +542,37 @@ impl Scheduler {
         let st = lock_state(&self.inner);
         st.jobs
             .iter()
-            .map(|(&id, rec)| JobStatus {
-                id,
-                state: rec.state,
-                priority: rec.spec.priority,
-                iterations_done: rec.iterations_done,
-                iterations_total: rec.spec.iterations,
-                granted_threads: rec.granted,
-                error: rec.error.clone(),
-                last_event: rec.events.last().cloned(),
-            })
+            .map(|(&id, rec)| Self::status_of(rec, id))
             .collect()
+    }
+
+    /// A consistent snapshot of queue depths, tenant accounting, thread
+    /// utilization, job-state census, and price-cache statistics —
+    /// everything behind the `metrics` verb that the scheduler owns.
+    #[must_use]
+    pub fn metrics(&self) -> SchedMetrics {
+        let st = lock_state(&self.inner);
+        let mut states: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for rec in st.jobs.values() {
+            *states.entry(rec.state.as_str()).or_insert(0) += 1;
+            cache_hits += rec.cache_hits;
+            cache_misses += rec.cache_misses;
+        }
+        SchedMetrics {
+            queue_capacity: self.inner.config.queue_capacity,
+            queued: st.ledger.queued_total(),
+            running: st.running,
+            max_running: self.inner.config.max_running,
+            total_threads: self.inner.config.total_threads.max(1),
+            free_threads: st.free_threads,
+            draining: st.draining,
+            tenants: st.ledger.views(),
+            states,
+            cache_hits,
+            cache_misses,
+        }
     }
 
     /// Blocks until the job has produced an event with index `>= from`
@@ -432,6 +601,28 @@ impl Scheduler {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
         }
+    }
+
+    /// Non-blocking `watch`: returns whatever events exist from `from`
+    /// on (possibly none) and the job's current state, immediately.
+    /// The connection pool polls this so one slow watcher cannot stall
+    /// a socket worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] for unknown job ids.
+    pub fn watch_poll(
+        &self,
+        id: u64,
+        from: usize,
+    ) -> Result<(Vec<WatchEvent>, JobState), ServeError> {
+        let st = lock_state(&self.inner);
+        let rec = st
+            .jobs
+            .get(&id)
+            .ok_or_else(|| ServeError::new(format!("unknown job {id}")))?;
+        let events = rec.events.get(from..).unwrap_or(&[]).to_vec();
+        Ok((events, rec.state))
     }
 
     /// Begins draining: rejects new submissions, asks every running job
@@ -495,50 +686,50 @@ impl Scheduler {
                 .name(format!("crpd-job-{id}"))
                 .spawn(move || sched.run_worker(id, granted));
             if spawned.is_err() {
-                // Could not spawn: return the job to its lane.
+                // Could not spawn: return the job to the front of its
+                // lane, as if the dispatch never happened.
                 let mut st = lock_state(&self.inner);
                 st.running = st.running.saturating_sub(1);
                 st.free_threads += granted;
-                if let Some(rec) = st.jobs.get_mut(&id) {
+                let returned = st.jobs.get_mut(&id).map(|rec| {
                     rec.state = JobState::Queued;
                     rec.granted = 0;
-                    match rec.spec.priority {
-                        Lane::High => st.high.push_front(id),
-                        Lane::Normal => st.normal.push_front(id),
-                    }
-                    st.queued += 1;
+                    (rec.spec.tenant.clone(), rec.spec.priority)
+                });
+                if let Some((tenant, lane)) = returned {
+                    st.ledger.rollback_dispatch(&tenant, lane, id, granted);
                 }
             }
         }
     }
 
-    /// Pops the next runnable job when a slot and budget are available.
-    /// High lane first; within a lane, FIFO. Holding the lock, moves the
-    /// job to `Running` and reserves its thread grant.
+    /// Picks the next runnable job when a slot and budget are available.
+    /// The ledger's deficit round robin chooses the tenant (high lane
+    /// before normal within it); holding the lock, moves the job to
+    /// `Running` and reserves its thread grant, capped by the tenant's
+    /// remaining thread share.
     fn pick_runnable(&self, st: &mut SchedState) -> Option<(u64, usize)> {
         if st.draining || st.running >= self.inner.config.max_running || st.free_threads == 0 {
             return None;
         }
-        let id = st
-            .high
-            .front()
-            .copied()
-            .or_else(|| st.normal.front().copied())?;
-        let rec = st.jobs.get_mut(&id)?;
-        // Grant min(requested, free). A job never waits for more than one
-        // thread: shrinking the grant changes speed, not results, because
-        // `run_indexed` is bit-identical at any thread count.
-        let granted = rec.spec.threads.clamp(1, st.free_threads);
-        if st.high.front() == Some(&id) {
-            st.high.pop_front();
-        } else {
-            st.normal.pop_front();
-        }
-        st.queued = st.queued.saturating_sub(1);
+        let (tenant, id, _lane) = st.ledger.pick()?;
+        let Some(rec) = st.jobs.get_mut(&id) else {
+            // Record vanished (cancel raced): drop the pick entirely.
+            st.ledger.finish(&tenant, 0, FinishKind::Cancelled);
+            return None;
+        };
+        // Grant min(requested, free, tenant share left), at least 1 (the
+        // ledger only picks tenants with share left). A job never waits
+        // for more than one thread: shrinking the grant changes speed,
+        // not results, because `run_indexed` is bit-identical at any
+        // thread count.
+        let share_left = st.ledger.share_left(&tenant).max(1);
+        let granted = rec.spec.threads.clamp(1, st.free_threads).min(share_left);
         st.running += 1;
         st.free_threads -= granted;
         rec.state = JobState::Running;
         rec.granted = granted;
+        st.ledger.grant_threads(&tenant, granted);
         Some((id, granted))
     }
 
@@ -557,9 +748,12 @@ impl Scheduler {
         let sched = self.clone();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut on_event = |ev: WatchEvent| {
+                let (hits, misses) = cache_counters(&ev.timers_json);
                 let mut st = lock_state(&sched.inner);
                 if let Some(rec) = st.jobs.get_mut(&id) {
                     rec.iterations_done = ev.iteration + 1;
+                    rec.cache_hits = hits;
+                    rec.cache_misses = misses;
                     rec.events.push(ev);
                 }
                 drop(st);
@@ -595,18 +789,28 @@ impl Scheduler {
         let mut st = lock_state(&self.inner);
         st.running = st.running.saturating_sub(1);
         st.free_threads += granted;
+        let mut final_state = state;
         if let Some(rec) = st.jobs.get_mut(&id) {
             rec.granted = 0;
             // A cancel that raced the final iteration still wins.
-            rec.state = if rec.flags.cancel.load(Ordering::Acquire) && state != JobState::Done {
+            final_state = if rec.flags.cancel.load(Ordering::Acquire) && state != JobState::Done {
                 JobState::Cancelled
             } else {
                 state
             };
+            rec.state = final_state;
             rec.error = error.clone();
+            let kind = match final_state {
+                JobState::Done => FinishKind::Completed,
+                JobState::Failed => FinishKind::Failed,
+                JobState::Checkpointed => FinishKind::Parked,
+                _ => FinishKind::Cancelled,
+            };
+            let tenant = rec.spec.tenant.clone();
+            st.ledger.finish(&tenant, granted, kind);
         }
         drop(st);
-        self.persist_state(id, state, error.as_deref());
+        self.persist_state(id, final_state, error.as_deref());
         self.inner.cond.notify_all();
     }
 }
@@ -627,6 +831,13 @@ mod tests {
         }
     }
 
+    fn tenant_spec(tenant: &str, iters: usize) -> JobSpec {
+        JobSpec {
+            tenant: tenant.to_string(),
+            ..tiny_spec(iters)
+        }
+    }
+
     fn sched(tag: &str, cap: usize) -> Scheduler {
         let dir = std::env::temp_dir().join(format!("crp-sched-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -635,6 +846,7 @@ mod tests {
             queue_capacity: cap,
             total_threads: 2,
             max_running: 2,
+            ..SchedConfig::default()
         })
         .unwrap()
     }
@@ -658,6 +870,7 @@ mod tests {
         assert_eq!(state, JobState::Done);
         let status = s.status(id).unwrap();
         assert_eq!(status.iterations_done, 2);
+        assert_eq!(status.tenant, "default");
         assert!(s.data_dir().join("jobs/0/result.def").exists());
     }
 
@@ -683,6 +896,47 @@ mod tests {
     }
 
     #[test]
+    fn tenant_queue_quota_rejects_with_reason() {
+        let dir = std::env::temp_dir().join(format!("crp-sched-quota-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Scheduler::new(SchedConfig {
+            data_dir: dir,
+            queue_capacity: 64,
+            total_threads: 2,
+            max_running: 1,
+            quotas: vec![(
+                "greedy".to_string(),
+                TenantQuota {
+                    max_queued: 2,
+                    max_running: 1,
+                    thread_share: 1,
+                },
+            )],
+            ..SchedConfig::default()
+        })
+        .unwrap();
+        // Fill the running slot so submissions stay queued.
+        let _running = s.submit(tenant_spec("greedy", 50)).unwrap();
+        let mut rejected = None;
+        for _ in 0..6 {
+            match s.submit(tenant_spec("greedy", 50)) {
+                Ok(_) => {}
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let e = rejected.expect("expected a tenant quota rejection");
+        assert!(e.msg.contains("tenant `greedy` queue quota"), "{e}");
+        // Another tenant is still admitted.
+        assert!(s.submit(tenant_spec("polite", 1)).is_ok());
+        let m = s.metrics();
+        let greedy = m.tenants.iter().find(|t| t.name == "greedy").unwrap();
+        assert!(greedy.counters.rejected >= 1);
+    }
+
+    #[test]
     fn cancel_queued_job_never_runs() {
         let s = sched("cancel", 8);
         // Two long jobs occupy both slots; the third stays queued.
@@ -700,6 +954,7 @@ mod tests {
         assert!(s.status(99).is_err());
         assert!(s.cancel(99).is_err());
         assert!(s.watch(99, 0).is_err());
+        assert!(s.watch_poll(99, 0).is_err());
     }
 
     #[test]
@@ -715,6 +970,13 @@ mod tests {
             "after drain: {state:?}"
         );
         assert!(s.submit(tiny_spec(1)).is_err(), "draining must reject");
+        // Per-tenant accounting returned to zero.
+        let m = s.metrics();
+        for t in &m.tenants {
+            assert_eq!(t.running, 0, "{}", t.name);
+            assert_eq!(t.threads_in_use, 0, "{}", t.name);
+            assert_eq!(t.queued_high + t.queued_normal, 0, "{}", t.name);
+        }
     }
 
     #[test]
@@ -726,6 +988,7 @@ mod tests {
             queue_capacity: 8,
             total_threads: 2,
             max_running: 2,
+            ..SchedConfig::default()
         };
         {
             let s = Scheduler::new(config.clone()).unwrap();
@@ -742,6 +1005,71 @@ mod tests {
         assert!(
             state == JobState::Queued || state == JobState::Running || state == JobState::Done,
             "recovered into {state:?}"
+        );
+    }
+
+    /// A greedy tenant flooding the queue cannot delay another tenant's
+    /// queued job beyond its fair turn: the polite tenant's single job
+    /// completes while most of the flood is still queued.
+    #[test]
+    fn greedy_tenant_does_not_starve_polite_one() {
+        let dir = std::env::temp_dir().join(format!("crp-sched-fair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Scheduler::new(SchedConfig {
+            data_dir: dir,
+            queue_capacity: 64,
+            total_threads: 1,
+            max_running: 1,
+            ..SchedConfig::default()
+        })
+        .unwrap();
+        let mut flood = Vec::new();
+        for _ in 0..10 {
+            flood.push(s.submit(tenant_spec("greedy", 1)).unwrap());
+        }
+        let polite = s.submit(tenant_spec("polite", 1)).unwrap();
+        let state = wait_terminal(&s, polite);
+        assert_eq!(state, JobState::Done);
+        // Fair share (equal weights): at most a couple of greedy jobs ran
+        // before polite's turn came around.
+        let done_before = flood
+            .iter()
+            .filter(|&&id| s.status(id).unwrap().state == JobState::Done)
+            .count();
+        assert!(
+            done_before <= 3,
+            "{done_before} greedy jobs finished before the polite tenant's single job"
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_is_internally_consistent() {
+        let s = sched("metrics", 8);
+        let a = s.submit(tenant_spec("a", 2)).unwrap();
+        let b = s.submit(tenant_spec("b", 2)).unwrap();
+        wait_terminal(&s, a);
+        wait_terminal(&s, b);
+        let m = s.metrics();
+        let queued_sum: usize = m
+            .tenants
+            .iter()
+            .map(|t| t.queued_high + t.queued_normal)
+            .sum();
+        assert_eq!(queued_sum, m.queued);
+        assert_eq!(m.queued, 0);
+        assert_eq!(m.free_threads, m.total_threads);
+        let done = m.states.get("done").copied().unwrap_or(0);
+        assert_eq!(done, 2);
+        // Both jobs ran with the price cache on: hits+misses > 0 and the
+        // snapshot carried them.
+        assert!(m.cache_hits + m.cache_misses > 0);
+        let json = m.to_json().to_string();
+        let v = parse(&json).unwrap();
+        assert_eq!(
+            v.get("queue")
+                .and_then(|q| q.get("queued"))
+                .and_then(Json::as_usize),
+            Some(0)
         );
     }
 }

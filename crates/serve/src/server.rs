@@ -8,45 +8,122 @@
 //! line per completed iteration and terminates with a
 //! `{"ok":true,"done":true,"state":...}` line once the job reaches a
 //! terminal state. See `DESIGN.md` §10 for the full protocol.
+//!
+//! ## Connection pool
+//!
+//! Connections are served by a **bounded pool**: one accept thread and a
+//! fixed set of worker threads, each multiplexing its share of
+//! connections over non-blocking sockets. Hundreds of concurrent
+//! clients therefore cost a handful of threads, not one thread each,
+//! and a client flood cannot exhaust the process: beyond
+//! [`PoolConfig::max_conns`] open connections, new clients get one
+//! `{"ok":false,...}` line and are turned away (counted in the
+//! `metrics` snapshot).
+//!
+//! A `watch` becomes a *subscription* on its connection: the worker
+//! polls the scheduler's non-blocking [`Scheduler::watch_poll`] each
+//! service cycle and streams new events out, so a slow watcher never
+//! stalls the other connections on the same worker. Further request
+//! lines on that connection are buffered until the watch completes,
+//! preserving the protocol's serial request/response order.
 
 use crate::driver::{RESULT_DEF_FILE, RESULT_GUIDE_FILE};
 use crate::error::ServeError;
 use crate::json::{parse, Json};
+use crate::metrics::ServerMetrics;
 use crate::scheduler::Scheduler;
 use crate::spec::{JobSpec, JobState};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Longest request line the server accepts; longer lines close the
+/// connection with an error (a submit spec is a few hundred bytes).
+const MAX_LINE: usize = 1 << 20;
+
+/// Worker poll cadence when every connection is idle.
+const IDLE_SLEEP: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// Connection-pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum open connections; further clients are rejected with an
+    /// error line.
+    pub max_conns: usize,
+    /// Socket worker threads multiplexing the connections.
+    pub workers: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            max_conns: 512,
+            workers: 2,
+        }
+    }
+}
 
 /// A running daemon front end.
 pub struct Server {
     addr: SocketAddr,
     scheduler: Scheduler,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
-    /// accept loop, and returns immediately.
+    /// Binds `addr` with the default pool sizing. Use port 0 for an
+    /// ephemeral port.
     ///
     /// # Errors
     ///
     /// Returns a [`ServeError`] when the address cannot be bound.
     pub fn start(addr: &str, scheduler: Scheduler) -> Result<Server, ServeError> {
+        Server::start_with(addr, scheduler, PoolConfig::default())
+    }
+
+    /// Binds `addr`, spawns the accept thread and `pool.workers` socket
+    /// workers, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the address cannot be bound or a
+    /// pool thread cannot be spawned.
+    pub fn start_with(
+        addr: &str,
+        scheduler: Scheduler,
+        pool: PoolConfig,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| ServeError::new(format!("cannot bind {addr}: {e}")))?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::default());
+        let workers = pool.workers.max(1);
+        let mut inboxes: Vec<Arc<Mutex<Vec<Conn>>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let inbox = Arc::new(Mutex::new(Vec::new()));
+            inboxes.push(Arc::clone(&inbox));
+            let scheduler = scheduler.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name(format!("crpd-pool-{w}"))
+                .spawn(move || worker_loop(&inbox, &scheduler, &shutdown, &metrics))
+                .map_err(|e| ServeError::new(format!("cannot spawn pool worker: {e}")))?;
+        }
         let server = Server {
             addr: local,
-            scheduler: scheduler.clone(),
+            scheduler,
             shutdown: Arc::clone(&shutdown),
+            metrics: Arc::clone(&metrics),
         };
+        let max_conns = pool.max_conns.max(1);
         std::thread::Builder::new()
             .name("crpd-accept".to_string())
-            .spawn(move || accept_loop(&listener, &scheduler, &shutdown))
+            .spawn(move || accept_loop(&listener, &inboxes, max_conns, &shutdown, &metrics))
             .map_err(|e| ServeError::new(format!("cannot spawn accept loop: {e}")))?;
         Ok(server)
     }
@@ -77,30 +154,302 @@ impl Server {
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
     }
+
+    /// The server-side request metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
 }
 
-fn accept_loop(listener: &TcpListener, scheduler: &Scheduler, shutdown: &Arc<AtomicBool>) {
+/// One pooled connection and its buffers.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// An active `watch` subscription: job id, next event index, and
+    /// when the subscription started (for the latency histogram).
+    watch: Option<(u64, usize, std::time::Instant)>,
+    /// Client half-closed its read side; finish flushing, then drop.
+    read_closed: bool,
+    /// Close once `outbuf` drains (shutdown acknowledged or protocol
+    /// error).
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            watch: None,
+            read_closed: false,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inboxes: &[Arc<Mutex<Vec<Conn>>>],
+    max_conns: usize,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<ServerMetrics>,
+) {
+    let mut next_worker = 0usize;
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let scheduler = scheduler.clone();
-                let shutdown = Arc::clone(shutdown);
-                let spawned = std::thread::Builder::new()
-                    .name("crpd-conn".to_string())
-                    .spawn(move || handle_conn(stream, &scheduler, &shutdown));
-                // A failed spawn drops the connection; the client sees EOF
-                // and can retry.
-                drop(spawned);
+                if metrics.open_conns() >= max_conns as u64 {
+                    // Pool full: one error line, best effort, then drop.
+                    metrics.conn_rejected();
+                    let mut s = stream;
+                    let _ = s.write_all(err("server at connection capacity").as_bytes());
+                    let _ = s.write_all(b"\n");
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                metrics.conn_opened();
+                let inbox = &inboxes[next_worker % inboxes.len()];
+                next_worker = next_worker.wrapping_add(1);
+                lock_inbox(inbox).push(Conn::new(stream));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(25));
+                std::thread::sleep(std::time::Duration::from_millis(5));
             }
-            Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
         }
     }
+}
+
+fn lock_inbox(inbox: &Mutex<Vec<Conn>>) -> std::sync::MutexGuard<'_, Vec<Conn>> {
+    inbox
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One socket worker: adopts connections from its inbox and multiplexes
+/// them until shutdown.
+fn worker_loop(
+    inbox: &Arc<Mutex<Vec<Conn>>>,
+    scheduler: &Scheduler,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<ServerMetrics>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        {
+            let mut incoming = lock_inbox(inbox);
+            conns.append(&mut incoming);
+        }
+        let mut active = false;
+        for conn in &mut conns {
+            active |= service_conn(conn, scheduler, shutdown, metrics);
+        }
+        conns.retain(|c| {
+            if c.dead {
+                metrics.conn_closed();
+                false
+            } else {
+                true
+            }
+        });
+        if shutdown.load(Ordering::Acquire) {
+            // Final flush so in-flight responses (including the shutdown
+            // acknowledgement) reach their clients, then exit.
+            for conn in &mut conns {
+                flush_out(conn);
+            }
+            return;
+        }
+        if !active {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// Services one connection for one cycle; returns whether anything
+/// happened (progress made), to drive the idle backoff.
+fn service_conn(
+    conn: &mut Conn,
+    scheduler: &Scheduler,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<ServerMetrics>,
+) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut active = flush_out(conn);
+    if conn.dead {
+        return active;
+    }
+
+    // An active watch subscription streams events before (and instead
+    // of) consuming more request lines.
+    if let Some((id, from, started)) = conn.watch {
+        if conn.outbuf.is_empty() {
+            match scheduler.watch_poll(id, from) {
+                Ok((events, state)) => {
+                    if !events.is_empty() {
+                        active = true;
+                    }
+                    for ev in &events {
+                        push_line(&mut conn.outbuf, &ok(vec![("event", ev.to_json())]));
+                    }
+                    let next = from + events.len();
+                    if state.is_terminal() {
+                        push_line(
+                            &mut conn.outbuf,
+                            &ok(vec![
+                                ("done", Json::Bool(true)),
+                                ("state", Json::str(state.as_str())),
+                            ]),
+                        );
+                        metrics.record("watch", true, elapsed_us(started));
+                        conn.watch = None;
+                        active = true;
+                    } else {
+                        conn.watch = Some((id, next, started));
+                    }
+                }
+                Err(e) => {
+                    push_line(&mut conn.outbuf, &err(&e.msg));
+                    metrics.record("watch", false, elapsed_us(started));
+                    conn.watch = None;
+                    active = true;
+                }
+            }
+        }
+        flush_out(conn);
+        return active;
+    }
+
+    if !conn.close_after_flush {
+        active |= read_available(conn);
+        active |= process_lines(conn, scheduler, shutdown, metrics);
+    }
+    flush_out(conn);
+    if conn.outbuf.is_empty() && (conn.close_after_flush || conn.read_closed) {
+        conn.dead = true;
+    }
+    active
+}
+
+/// Drains as much of `outbuf` as the socket will take. Returns whether
+/// bytes moved.
+fn flush_out(conn: &mut Conn) -> bool {
+    let mut moved = false;
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return moved;
+            }
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+                moved = true;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return moved;
+            }
+            Err(_) => {
+                conn.dead = true;
+                return moved;
+            }
+        }
+    }
+    moved
+}
+
+/// Reads whatever the socket has ready into `inbuf`. Returns whether
+/// bytes arrived.
+fn read_available(conn: &mut Conn) -> bool {
+    let mut moved = false;
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return moved;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&buf[..n]);
+                moved = true;
+                if conn.inbuf.len() > MAX_LINE {
+                    push_line(&mut conn.outbuf, &err("request line too long"));
+                    conn.close_after_flush = true;
+                    return moved;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return moved;
+            }
+            Err(_) => {
+                conn.dead = true;
+                return moved;
+            }
+        }
+    }
+}
+
+/// Handles every complete line currently buffered, stopping early when
+/// a request opens a watch subscription or closes the connection.
+fn process_lines(
+    conn: &mut Conn,
+    scheduler: &Scheduler,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<ServerMetrics>,
+) -> bool {
+    let mut active = false;
+    while conn.watch.is_none() && !conn.close_after_flush {
+        let Some(nl) = conn.inbuf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line_bytes: Vec<u8> = conn.inbuf.drain(..=nl).collect();
+        let line = String::from_utf8_lossy(&line_bytes[..nl]).into_owned();
+        if line.trim().is_empty() {
+            continue;
+        }
+        active = true;
+        match handle_request(&line, scheduler, shutdown, metrics, &mut conn.outbuf) {
+            Action::Continue => {}
+            Action::Close => conn.close_after_flush = true,
+            Action::Watch { id, from, started } => conn.watch = Some((id, from, started)),
+        }
+    }
+    active
+}
+
+/// What the connection should do after a request is handled.
+enum Action {
+    /// Keep reading requests.
+    Continue,
+    /// Flush, then close (shutdown acknowledged).
+    Close,
+    /// Enter watch-subscription mode for job `id` from event `from`.
+    Watch {
+        id: u64,
+        from: usize,
+        started: std::time::Instant,
+    },
+}
+
+fn elapsed_us(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 fn ok(fields: Vec<(&str, Json)>) -> String {
@@ -113,125 +462,157 @@ fn err(msg: &str) -> String {
     Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))]).to_string()
 }
 
-fn handle_conn(stream: TcpStream, scheduler: &Scheduler, shutdown: &Arc<AtomicBool>) {
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => return, // client went away
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let done = handle_request(&line, scheduler, shutdown, &mut writer).is_err();
-        if done {
-            return;
-        }
-    }
+fn push_line(out: &mut Vec<u8>, line: &str) {
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
 }
 
-/// Handles one request line; `Err` means the connection should close
-/// (client gone or shutdown acknowledged).
+/// Handles one request line, queuing response lines into `out`.
 fn handle_request(
     line: &str,
     scheduler: &Scheduler,
     shutdown: &Arc<AtomicBool>,
-    writer: &mut TcpStream,
-) -> Result<(), ()> {
+    metrics: &Arc<ServerMetrics>,
+    out: &mut Vec<u8>,
+) -> Action {
+    let started = std::time::Instant::now();
     let req = match parse(line) {
         Ok(v) => v,
-        Err(e) => return send(writer, &err(&format!("malformed request: {e}"))),
+        Err(e) => {
+            push_line(out, &err(&format!("malformed request: {e}")));
+            metrics.record("malformed", false, elapsed_us(started));
+            return Action::Continue;
+        }
     };
     let verb = req.get("verb").and_then(Json::as_str).unwrap_or("");
     match verb {
-        "ping" => send(writer, &ok(vec![("pong", Json::Bool(true))])),
+        "ping" => {
+            push_line(out, &ok(vec![("pong", Json::Bool(true))]));
+            metrics.record("ping", true, elapsed_us(started));
+            Action::Continue
+        }
         "submit" => {
             let response = req
                 .get("spec")
                 .ok_or_else(|| ServeError::new("submit needs a `spec` object"))
                 .and_then(JobSpec::from_json)
                 .and_then(|spec| scheduler.submit(spec));
+            let ok_resp = response.is_ok();
             match response {
-                Ok(id) => send(writer, &ok(vec![("id", Json::Int(i128::from(id)))])),
-                Err(e) => send(writer, &err(&e.msg)),
+                Ok(id) => push_line(out, &ok(vec![("id", Json::Int(i128::from(id)))])),
+                Err(e) => push_line(out, &err(&e.msg)),
             }
+            metrics.record("submit", ok_resp, elapsed_us(started));
+            Action::Continue
         }
-        "status" => match req.get("id").and_then(Json::as_u64) {
-            Some(id) => match scheduler.status(id) {
-                Ok(s) => send(writer, &ok(vec![("job", s.to_json())])),
-                Err(e) => send(writer, &err(&e.msg)),
-            },
-            None => {
-                let jobs = scheduler
-                    .status_all()
-                    .iter()
-                    .map(crate::scheduler::JobStatus::to_json)
-                    .collect();
-                send(writer, &ok(vec![("jobs", Json::Arr(jobs))]))
+        "status" => {
+            match req.get("id").and_then(Json::as_u64) {
+                Some(id) => match scheduler.status(id) {
+                    Ok(s) => {
+                        push_line(out, &ok(vec![("job", s.to_json())]));
+                        metrics.record("status", true, elapsed_us(started));
+                    }
+                    Err(e) => {
+                        push_line(out, &err(&e.msg));
+                        metrics.record("status", false, elapsed_us(started));
+                    }
+                },
+                None => {
+                    let jobs = scheduler
+                        .status_all()
+                        .iter()
+                        .map(crate::scheduler::JobStatus::to_json)
+                        .collect();
+                    push_line(out, &ok(vec![("jobs", Json::Arr(jobs))]));
+                    metrics.record("status", true, elapsed_us(started));
+                }
             }
-        },
+            Action::Continue
+        }
         "watch" => {
             let Some(id) = req.get("id").and_then(Json::as_u64) else {
-                return send(writer, &err("watch needs an integer `id`"));
+                push_line(out, &err("watch needs an integer `id`"));
+                metrics.record("watch", false, elapsed_us(started));
+                return Action::Continue;
             };
-            let mut from = req.get("from").and_then(Json::as_usize).unwrap_or(0);
-            loop {
-                match scheduler.watch(id, from) {
-                    Ok((events, state)) => {
-                        for ev in &events {
-                            send(writer, &ok(vec![("event", ev.to_json())]))?;
-                        }
-                        from += events.len();
-                        if state.is_terminal() {
-                            return send(
-                                writer,
-                                &ok(vec![
-                                    ("done", Json::Bool(true)),
-                                    ("state", Json::str(state.as_str())),
-                                ]),
-                            );
-                        }
-                    }
-                    Err(e) => return send(writer, &err(&e.msg)),
+            let from = req.get("from").and_then(Json::as_usize).unwrap_or(0);
+            // Unknown ids fail fast; valid ids become a subscription the
+            // worker polls without blocking.
+            match scheduler.watch_poll(id, from) {
+                Ok(_) => Action::Watch { id, from, started },
+                Err(e) => {
+                    push_line(out, &err(&e.msg));
+                    metrics.record("watch", false, elapsed_us(started));
+                    Action::Continue
                 }
             }
         }
         "fetch" => {
             let Some(id) = req.get("id").and_then(Json::as_u64) else {
-                return send(writer, &err("fetch needs an integer `id`"));
+                push_line(out, &err("fetch needs an integer `id`"));
+                metrics.record("fetch", false, elapsed_us(started));
+                return Action::Continue;
             };
+            let ok_resp;
             match scheduler.status(id) {
                 Ok(s) if s.state == JobState::Done => {
                     let dir = scheduler.data_dir().join("jobs").join(id.to_string());
                     let def = std::fs::read_to_string(dir.join(RESULT_DEF_FILE));
                     let guide = std::fs::read_to_string(dir.join(RESULT_GUIDE_FILE));
                     match (def, guide) {
-                        (Ok(def), Ok(guide)) => send(
-                            writer,
-                            &ok(vec![("def", Json::str(&def)), ("guide", Json::str(&guide))]),
-                        ),
-                        _ => send(writer, &err("results missing on disk")),
+                        (Ok(def), Ok(guide)) => {
+                            push_line(
+                                out,
+                                &ok(vec![("def", Json::str(&def)), ("guide", Json::str(&guide))]),
+                            );
+                            ok_resp = true;
+                        }
+                        _ => {
+                            push_line(out, &err("results missing on disk"));
+                            ok_resp = false;
+                        }
                     }
                 }
-                Ok(s) => send(
-                    writer,
-                    &err(&format!("job {id} is {}, not done", s.state.as_str())),
-                ),
-                Err(e) => send(writer, &err(&e.msg)),
+                Ok(s) => {
+                    push_line(
+                        out,
+                        &err(&format!("job {id} is {}, not done", s.state.as_str())),
+                    );
+                    ok_resp = false;
+                }
+                Err(e) => {
+                    push_line(out, &err(&e.msg));
+                    ok_resp = false;
+                }
             }
+            metrics.record("fetch", ok_resp, elapsed_us(started));
+            Action::Continue
         }
         "cancel" => {
             let Some(id) = req.get("id").and_then(Json::as_u64) else {
-                return send(writer, &err("cancel needs an integer `id`"));
+                push_line(out, &err("cancel needs an integer `id`"));
+                metrics.record("cancel", false, elapsed_us(started));
+                return Action::Continue;
             };
-            match scheduler.cancel(id) {
-                Ok(state) => send(writer, &ok(vec![("state", Json::str(state.as_str()))])),
-                Err(e) => send(writer, &err(&e.msg)),
+            let response = scheduler.cancel(id);
+            let ok_resp = response.is_ok();
+            match response {
+                Ok(state) => push_line(out, &ok(vec![("state", Json::str(state.as_str()))])),
+                Err(e) => push_line(out, &err(&e.msg)),
             }
+            metrics.record("cancel", ok_resp, elapsed_us(started));
+            Action::Continue
+        }
+        "metrics" => {
+            // The scheduler side (queues, tenants, threads, price cache)
+            // and the server side (verb latencies, connections) in one
+            // snapshot. This request's own latency lands in the *next*
+            // snapshot.
+            let sched = scheduler.metrics().to_json();
+            let server = metrics.to_json();
+            push_line(out, &ok(vec![("scheduler", sched), ("server", server)]));
+            metrics.record("metrics", true, elapsed_us(started));
+            Action::Continue
         }
         "shutdown" => {
             // Drain first so the response doubles as the all-clear: every
@@ -239,18 +620,14 @@ fn handle_request(
             // persisted by the time the client reads this line.
             scheduler.drain();
             shutdown.store(true, Ordering::Release);
-            let _ = send(writer, &ok(vec![("drained", Json::Bool(true))]));
-            Err(())
+            push_line(out, &ok(vec![("drained", Json::Bool(true))]));
+            metrics.record("shutdown", true, elapsed_us(started));
+            Action::Close
         }
-        other => send(writer, &err(&format!("unknown verb `{other}`"))),
+        other => {
+            push_line(out, &err(&format!("unknown verb `{other}`")));
+            metrics.record("unknown", false, elapsed_us(started));
+            Action::Continue
+        }
     }
-}
-
-/// Writes one response line; `Err` when the client is gone.
-fn send(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
-    writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .map_err(|_| ())
 }

@@ -59,6 +59,9 @@ impl Lane {
 /// count, scheduling knobs, and [`CrpConfig`] overrides.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
+    /// The tenant the job is accounted to: quotas and fair-share
+    /// dispatch are per tenant. Defaults to `"default"`.
+    pub tenant: String,
     /// What to optimize.
     pub workload: Workload,
     /// CR&P iterations to run (the paper's `k`).
@@ -79,6 +82,7 @@ pub struct JobSpec {
 impl Default for JobSpec {
     fn default() -> JobSpec {
         JobSpec {
+            tenant: "default".to_string(),
             workload: Workload::Profile {
                 name: "ispd18_test1".to_string(),
                 scale: 400.0,
@@ -135,6 +139,7 @@ impl JobSpec {
             ("move_margin", Json::Float(c.move_margin)),
         ]);
         Json::obj(vec![
+            ("tenant", Json::str(&self.tenant)),
             ("workload", workload),
             ("iterations", Json::Int(self.iterations as i128)),
             ("threads", Json::Int(self.threads as i128)),
@@ -175,6 +180,26 @@ impl JobSpec {
             return Err(ServeError::new(
                 "`workload` needs either `profile` (+ optional `scale`) or `lef` + `def`",
             ));
+        };
+
+        let tenant = match v.get("tenant") {
+            None => "default".to_string(),
+            Some(t) => {
+                let name = t
+                    .as_str()
+                    .ok_or_else(|| ServeError::new("`tenant` must be a string"))?;
+                if name.is_empty()
+                    || name.len() > 64
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+                {
+                    return Err(ServeError::new(
+                        "`tenant` must be 1-64 chars of [A-Za-z0-9._-]",
+                    ));
+                }
+                name.to_string()
+            }
         };
 
         let iterations = v
@@ -244,6 +269,7 @@ impl JobSpec {
         }
 
         Ok(JobSpec {
+            tenant,
             workload,
             iterations,
             threads,
@@ -338,6 +364,22 @@ mod tests {
     }
 
     #[test]
+    fn tenant_roundtrips_and_defaults() {
+        let spec = JobSpec {
+            tenant: "team-red.42".to_string(),
+            ..JobSpec::default()
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.tenant, "team-red.42");
+        // A spec without a tenant lands in the default tenant.
+        let back = JobSpec::from_json(
+            &parse("{\"workload\":{\"profile\":\"x\"},\"iterations\":1}").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.tenant, "default");
+    }
+
+    #[test]
     fn lefdef_workload_roundtrips() {
         let spec = JobSpec {
             workload: Workload::LefDef {
@@ -375,6 +417,18 @@ mod tests {
             (
                 "{\"workload\":{\"profile\":\"x\"},\"iterations\":1,\"priority\":\"urgent\"}",
                 "priority",
+            ),
+            (
+                "{\"tenant\":\"\",\"workload\":{\"profile\":\"x\"},\"iterations\":1}",
+                "tenant",
+            ),
+            (
+                "{\"tenant\":\"no spaces\",\"workload\":{\"profile\":\"x\"},\"iterations\":1}",
+                "tenant",
+            ),
+            (
+                "{\"tenant\":7,\"workload\":{\"profile\":\"x\"},\"iterations\":1}",
+                "tenant",
             ),
         ];
         for (src, needle) in cases {

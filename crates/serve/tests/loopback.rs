@@ -51,6 +51,7 @@ fn two_concurrent_tcp_jobs_match_serial_runs() {
         queue_capacity: 8,
         total_threads: 4,
         max_running: 2,
+        ..SchedConfig::default()
     })
     .unwrap();
     let server = Server::start("127.0.0.1:0", scheduler).unwrap();

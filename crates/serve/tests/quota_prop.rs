@@ -1,0 +1,132 @@
+//! Property tests for the fair-share [`Ledger`]: random interleavings
+//! of admit / pick / grant / finish / cancel / rollback across tenants
+//! must never drive any per-tenant counter negative or above its quota,
+//! and the global queued/running/thread totals must always equal the
+//! sum over tenants. `Ledger::check_invariants` re-derives every
+//! aggregate and is the oracle; this test also mirrors the ledger with
+//! a naive model (flat lists of queued and running jobs) and checks the
+//! two agree after every step.
+
+use crp_serve::fairshare::{FinishKind, Ledger, TenantQuota};
+use crp_serve::spec::Lane;
+use proptest::prelude::*;
+
+fn kind_of(k: u8) -> FinishKind {
+    match k % 4 {
+        0 => FinishKind::Completed,
+        1 => FinishKind::Failed,
+        2 => FinishKind::Cancelled,
+        _ => FinishKind::Parked,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn quota_accounting_survives_random_interleavings(
+        ops in collection::vec((0u8..5, 0u8..3, 0u8..2, 0u8..8), 1..200),
+    ) {
+        // Three tenants: t0/t2 on the default quota, t1 overridden.
+        let mut l = Ledger::new(
+            8,
+            TenantQuota { max_queued: 3, max_running: 2, thread_share: 2 },
+            vec![(
+                "t1".to_string(),
+                TenantQuota { max_queued: 2, max_running: 1, thread_share: 3 },
+            )],
+        );
+        let mut next_id = 0u64;
+        // The naive model: every queued job and every running grant.
+        let mut queued: Vec<(String, u64)> = Vec::new();
+        let mut running: Vec<(String, usize)> = Vec::new();
+
+        for &(op, t, lane, extra) in &ops {
+            let tenant = format!("t{t}");
+            let lane = if lane == 0 { Lane::Normal } else { Lane::High };
+            match op {
+                // Submit: quota decides; the model only records accepts.
+                0 => {
+                    if l.admit(&tenant, lane, next_id).is_ok() {
+                        queued.push((tenant.clone(), next_id));
+                    }
+                    next_id += 1;
+                }
+                // Dispatch: pick + a grant within the tenant's share.
+                1 => {
+                    if let Some((tn, id, _)) = l.pick() {
+                        let avail = l.share_left(&tn).max(1);
+                        let grant = usize::from(extra) % avail + 1;
+                        l.grant_threads(&tn, grant);
+                        queued.retain(|(qt, qid)| !(qt == &tn && *qid == id));
+                        running.push((tn, grant));
+                    }
+                }
+                // Finish a random running job with a random outcome.
+                2 => {
+                    if !running.is_empty() {
+                        let i = usize::from(extra) % running.len();
+                        let (tn, grant) = running.swap_remove(i);
+                        l.finish(&tn, grant, kind_of(extra));
+                    }
+                }
+                // Cancel a random queued job (or a bogus id).
+                3 => {
+                    if queued.is_empty() {
+                        prop_assert!(!l.cancel_queued(&tenant, u64::MAX));
+                    } else {
+                        let i = usize::from(extra) % queued.len();
+                        let (tn, id) = queued.remove(i);
+                        prop_assert!(l.cancel_queued(&tn, id));
+                    }
+                }
+                // Dispatch, then roll it back (worker spawn failed).
+                _ => {
+                    if let Some((tn, id, ln)) = l.pick() {
+                        let avail = l.share_left(&tn).max(1);
+                        let grant = usize::from(extra) % avail + 1;
+                        l.grant_threads(&tn, grant);
+                        l.rollback_dispatch(&tn, ln, id, grant);
+                    }
+                }
+            }
+            // The oracle holds after *every* step, not just at the end.
+            let check = l.check_invariants();
+            prop_assert!(check.is_ok(), "after op {op}: {check:?}");
+        }
+
+        // Global totals equal the sums over tenants, and both equal the
+        // naive model.
+        let views = l.views();
+        let queued_sum: usize = views.iter().map(|v| v.queued_high + v.queued_normal).sum();
+        let running_sum: usize = views.iter().map(|v| v.running).sum();
+        let threads_sum: usize = views.iter().map(|v| v.threads_in_use).sum();
+        prop_assert_eq!(l.queued_total(), queued_sum);
+        prop_assert_eq!(l.queued_total(), queued.len());
+        prop_assert_eq!(running_sum, running.len());
+        prop_assert_eq!(l.threads_in_use(), threads_sum);
+        let model_threads: usize = running.iter().map(|(_, g)| *g).sum();
+        prop_assert_eq!(threads_sum, model_threads);
+
+        // Drain everything; all counts must return to zero and the
+        // lifetime counters must balance exactly.
+        for (tn, grant) in running.drain(..) {
+            l.finish(&tn, grant, FinishKind::Completed);
+        }
+        while let Some((tn, _, _)) = l.pick() {
+            l.grant_threads(&tn, 1);
+            l.finish(&tn, 1, FinishKind::Completed);
+        }
+        prop_assert_eq!(l.queued_total(), 0);
+        prop_assert_eq!(l.threads_in_use(), 0);
+        for v in l.views() {
+            prop_assert_eq!(v.running, 0, "{}", &v.name);
+            let c = v.counters;
+            prop_assert_eq!(
+                c.admitted,
+                c.completed + c.failed + c.cancelled + c.parked,
+                "{}: {:?}", &v.name, c
+            );
+        }
+        prop_assert!(l.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,471 @@
+//! Swarm load harness: N concurrent loopback clients submitting mixed
+//! job sizes across multiple tenants against one daemon, asserting the
+//! fairness invariants end to end —
+//!
+//! - **no tenant starves**: every tenant has a completed job well
+//!   before the swarm finishes (first completion in the first half of
+//!   the global completion order),
+//! - **quotas are never exceeded**: a monitor connection polls the
+//!   `metrics` verb throughout and checks every snapshot against the
+//!   quotas the snapshot itself reports,
+//! - **results are bit-identical** to serial single-threaded reference
+//!   runs of the same specs,
+//!
+//! and recording p50/p95/p99 submit/status/fetch latencies plus
+//! throughput. `swarm_small` (default `cargo test`) drives tens of
+//! clients; `swarm_full` (`--ignored`, used by `scripts/serve_load.sh`)
+//! drives hundreds. Set `BENCH_SERVE_OUT=/path/BENCH_serve.json` to
+//! write the benchmark trajectory file; unset, nothing is written.
+
+use crp_serve::fairshare::TenantQuota;
+use crp_serve::json::Json;
+use crp_serve::scheduler::SchedConfig;
+use crp_serve::server::PoolConfig;
+use crp_serve::spec::{JobSpec, Lane, Workload};
+use crp_serve::{Client, Scheduler, Server};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: [&str; 3] = ["tenant-a", "tenant-b", "tenant-c"];
+
+/// The mixed job shapes the swarm submits (distinct workloads, sizes,
+/// lanes, and seeds). References are computed once per shape.
+fn shapes() -> Vec<JobSpec> {
+    let mut shapes = Vec::new();
+    for (i, (profile, scale, iterations, priority)) in [
+        ("ispd18_test1", 800.0, 1, Lane::Normal),
+        ("ispd18_test1", 700.0, 2, Lane::High),
+        ("ispd18_test2", 900.0, 1, Lane::Normal),
+        ("ispd18_test1", 600.0, 3, Lane::Normal),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut spec = JobSpec {
+            workload: Workload::Profile {
+                name: profile.to_string(),
+                scale,
+            },
+            iterations,
+            priority,
+            threads: 1 + i % 2,
+            ..JobSpec::default()
+        };
+        spec.config.seed = 1000 + i as u64 * 111;
+        shapes.push(spec);
+    }
+    shapes
+}
+
+/// Serial single-threaded reference run of one shape.
+fn reference(spec: &JobSpec, tag: usize) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!("crp-swarm-ref-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let no = AtomicBool::new(false);
+    crp_serve::run_job(spec, &dir, 1, &no, &no, &mut |_| {}).unwrap();
+    let def = std::fs::read_to_string(dir.join("result.def")).unwrap();
+    let guide = std::fs::read_to_string(dir.join("result.guide")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (def, guide)
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// What one client measured.
+#[derive(Default)]
+struct ClientReport {
+    submit_us: Vec<u64>,
+    status_us: Vec<u64>,
+    fetch_us: Vec<u64>,
+    submit_rejections: u64,
+}
+
+/// Keeps asserting quota bounds from live `metrics` snapshots until the
+/// swarm completes. Returns the number of clean snapshots taken, or the
+/// first violation.
+fn monitor_quotas(addr: &str, done: &AtomicBool) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.msg)?;
+    let mut snapshots = 0;
+    while !done.load(Ordering::Acquire) {
+        let m = client
+            .call(&Json::obj(vec![("verb", Json::str("metrics"))]))
+            .map_err(|e| e.msg)?;
+        let tenants = m
+            .get("scheduler")
+            .and_then(|s| s.get("tenants"))
+            .cloned()
+            .ok_or("snapshot missing tenants")?;
+        if let Json::Obj(members) = &tenants {
+            for (name, t) in members {
+                let get = |k: &str| t.get(k).and_then(Json::as_usize).unwrap_or(usize::MAX);
+                let quota = |k: &str| {
+                    t.get("quota")
+                        .and_then(|q| q.get(k))
+                        .and_then(Json::as_usize)
+                        .unwrap_or(0)
+                };
+                let queued = get("queued_high") + get("queued_normal");
+                if queued > quota("max_queued") {
+                    return Err(format!(
+                        "{name}: {queued} queued > quota {}",
+                        quota("max_queued")
+                    ));
+                }
+                if get("running") > quota("max_running") {
+                    return Err(format!(
+                        "{name}: {} running > quota {}",
+                        get("running"),
+                        quota("max_running")
+                    ));
+                }
+                if get("threads_in_use") > quota("thread_share") {
+                    return Err(format!(
+                        "{name}: {} threads > share {}",
+                        get("threads_in_use"),
+                        quota("thread_share")
+                    ));
+                }
+            }
+        }
+        snapshots += 1;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Ok(snapshots)
+}
+
+/// One swarm client: submit (retrying admission rejections), poll
+/// status to completion, fetch, and verify bit-identity.
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: &str,
+    spec: &JobSpec,
+    expected: &(String, String),
+    deadline: Instant,
+    completions: &AtomicUsize,
+    first_done: &BTreeMap<String, AtomicUsize>,
+) -> Result<ClientReport, String> {
+    let mut report = ClientReport::default();
+    // Under a full accept backlog, retry the connect briefly.
+    let mut client = loop {
+        match Client::connect(addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(format!("connect: {}", e.msg));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+
+    // Submit until admitted; queue-full / quota-full responses are the
+    // admission controller doing its job, not failures.
+    let submit_req = Json::obj(vec![
+        ("verb", Json::str("submit")),
+        ("spec", spec.to_json()),
+    ]);
+    let id = loop {
+        let t = Instant::now();
+        match client.call(&submit_req) {
+            Ok(v) => {
+                report.submit_us.push(elapsed_us(t));
+                break v.get("id").and_then(Json::as_u64).ok_or("submit: no id")?;
+            }
+            Err(e) if e.msg.contains("queue") || e.msg.contains("quota") => {
+                report.submit_rejections += 1;
+                if Instant::now() > deadline {
+                    return Err(format!("submit never admitted: {}", e.msg));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("submit: {}", e.msg)),
+        }
+    };
+
+    // Poll status until terminal.
+    let status_req = Json::obj(vec![
+        ("verb", Json::str("status")),
+        ("id", Json::Int(i128::from(id))),
+    ]);
+    loop {
+        let t = Instant::now();
+        let v = client.call(&status_req).map_err(|e| e.msg)?;
+        report.status_us.push(elapsed_us(t));
+        let state = v
+            .get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(Json::as_str)
+            .ok_or("status: no state")?;
+        match state {
+            "done" => {
+                let order = completions.fetch_add(1, Ordering::AcqRel);
+                if let Some(slot) = first_done.get(&spec.tenant) {
+                    // Record the tenant's first completion position.
+                    let _ = slot.compare_exchange(
+                        usize::MAX,
+                        order,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+                break;
+            }
+            "failed" | "cancelled" => return Err(format!("job {id} ended {state}")),
+            _ => {
+                if Instant::now() > deadline {
+                    return Err(format!("job {id} still {state} at deadline"));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+
+    // Fetch and verify bit-identity against the serial reference.
+    let t = Instant::now();
+    let v = client
+        .call(&Json::obj(vec![
+            ("verb", Json::str("fetch")),
+            ("id", Json::Int(i128::from(id))),
+        ]))
+        .map_err(|e| e.msg)?;
+    report.fetch_us.push(elapsed_us(t));
+    let def = v.get("def").and_then(Json::as_str).ok_or("fetch: no def")?;
+    let guide = v
+        .get("guide")
+        .and_then(Json::as_str)
+        .ok_or("fetch: no guide")?;
+    if def != expected.0 {
+        return Err(format!("job {id}: DEF diverged from serial reference"));
+    }
+    if guide != expected.1 {
+        return Err(format!("job {id}: guide diverged from serial reference"));
+    }
+    Ok(report)
+}
+
+fn latency_json(name: &str, mut v: Vec<u64>) -> (String, Json) {
+    v.sort_unstable();
+    (
+        name.to_string(),
+        Json::obj(vec![
+            ("count", Json::Int(v.len() as i128)),
+            ("p50_us", Json::Int(i128::from(pct(&v, 0.50)))),
+            ("p95_us", Json::Int(i128::from(pct(&v, 0.95)))),
+            ("p99_us", Json::Int(i128::from(pct(&v, 0.99)))),
+            (
+                "max_us",
+                Json::Int(i128::from(v.last().copied().unwrap_or(0))),
+            ),
+        ]),
+    )
+}
+
+fn run_swarm(clients: usize, tag: &str) {
+    let shapes = shapes();
+    let references: Vec<(String, String)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| reference(s, i))
+        .collect();
+
+    let data_dir = std::env::temp_dir().join(format!("crp-swarm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let scheduler = Scheduler::new(SchedConfig {
+        data_dir,
+        queue_capacity: 24,
+        total_threads: 4,
+        max_running: 3,
+        default_quota: Some(TenantQuota {
+            max_queued: 8,
+            max_running: 2,
+            thread_share: 2,
+        }),
+        quotas: Vec::new(),
+    })
+    .unwrap();
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        scheduler,
+        PoolConfig {
+            max_conns: clients + 16,
+            workers: 2,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let completions = Arc::new(AtomicUsize::new(0));
+    let first_done: Arc<BTreeMap<String, AtomicUsize>> = Arc::new(
+        TENANTS
+            .iter()
+            .map(|t| (t.to_string(), AtomicUsize::new(usize::MAX)))
+            .collect(),
+    );
+
+    let monitor = {
+        let addr = addr.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || monitor_quotas(&addr, &done))
+    };
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(300);
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addr.clone();
+            let mut spec = shapes[i % shapes.len()].clone();
+            spec.tenant = TENANTS[i % TENANTS.len()].to_string();
+            let expected = references[i % references.len()].clone();
+            let completions = Arc::clone(&completions);
+            let first_done = Arc::clone(&first_done);
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .name(format!("swarm-{i}"))
+                .spawn(move || {
+                    run_client(&addr, &spec, &expected, deadline, &completions, &first_done)
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let mut submit_us = Vec::new();
+    let mut status_us = Vec::new();
+    let mut fetch_us = Vec::new();
+    let mut rejections = 0;
+    let mut failures = Vec::new();
+    for w in workers {
+        match w.join().unwrap() {
+            Ok(r) => {
+                submit_us.extend(r.submit_us);
+                status_us.extend(r.status_us);
+                fetch_us.extend(r.fetch_us);
+                rejections += r.submit_rejections;
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    let wall = started.elapsed();
+    done.store(true, Ordering::Release);
+    assert!(failures.is_empty(), "client failures: {failures:?}");
+    assert_eq!(completions.load(Ordering::Acquire), clients);
+
+    // No tenant starved: every tenant completed a job in the first half
+    // of the global completion order.
+    for (tenant, slot) in first_done.iter() {
+        let first = slot.load(Ordering::Acquire);
+        assert!(
+            first < clients.div_ceil(2),
+            "{tenant}: first completion at position {first} of {clients}"
+        );
+    }
+
+    // Every live snapshot respected every quota.
+    let snapshots = monitor.join().unwrap().expect("quota breach observed");
+    assert!(snapshots > 0, "monitor never sampled the daemon");
+
+    // Final snapshot: per-tenant completions sum to the job count.
+    let mut client = Client::connect(&addr).unwrap();
+    let m = client
+        .call(&Json::obj(vec![("verb", Json::str("metrics"))]))
+        .unwrap();
+    let tenants_json = m.get("scheduler").and_then(|s| s.get("tenants")).unwrap();
+    let mut completed_sum = 0;
+    let mut tenant_summary: Vec<(String, Json)> = Vec::new();
+    if let Json::Obj(members) = tenants_json {
+        for (name, t) in members {
+            let completed = t.get("completed").and_then(Json::as_u64).unwrap_or(0);
+            let rejected = t.get("rejected").and_then(Json::as_u64).unwrap_or(0);
+            completed_sum += completed;
+            tenant_summary.push((
+                name.clone(),
+                Json::obj(vec![
+                    ("completed", Json::Int(i128::from(completed))),
+                    ("rejected", Json::Int(i128::from(rejected))),
+                ]),
+            ));
+        }
+    }
+    assert_eq!(completed_sum, clients as u64);
+
+    let requests_total = submit_us.len() + status_us.len() + fetch_us.len();
+    #[allow(clippy::cast_precision_loss)]
+    let wall_s = wall.as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let throughput = clients as f64 / wall_s;
+    println!(
+        "swarm[{tag}]: {clients} clients, {} tenants, {:.2}s wall, {throughput:.1} jobs/s, \
+         {requests_total} requests, {rejections} admission retries, {snapshots} quota snapshots",
+        TENANTS.len(),
+        wall_s
+    );
+
+    // Benchmark trajectory file, only when the harness asks for it.
+    if let Ok(out) = std::env::var("BENCH_SERVE_OUT") {
+        if !out.is_empty() {
+            let bench = Json::obj(vec![
+                ("bench", Json::str("serve_swarm")),
+                ("clients", Json::Int(clients as i128)),
+                ("tenants", Json::Int(TENANTS.len() as i128)),
+                ("jobs", Json::Int(clients as i128)),
+                ("wall_s", Json::Float(wall_s)),
+                ("throughput_jobs_per_s", Json::Float(throughput)),
+                ("requests_total", Json::Int(requests_total as i128)),
+                ("admission_retries", Json::Int(i128::from(rejections))),
+                ("quota_snapshots", Json::Int(i128::from(snapshots))),
+                (
+                    "latency_us",
+                    Json::Obj(vec![
+                        latency_json("submit", submit_us),
+                        latency_json("status", status_us),
+                        latency_json("fetch", fetch_us),
+                    ]),
+                ),
+                ("tenants_final", Json::Obj(tenant_summary)),
+            ]);
+            std::fs::write(&out, format!("{bench}\n")).unwrap();
+            println!("swarm[{tag}]: wrote {out}");
+        }
+    }
+
+    // Clean stop.
+    let v = client
+        .call(&Json::obj(vec![("verb", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(v.get("drained").and_then(Json::as_bool), Some(true));
+}
+
+fn env_clients(default: usize) -> usize {
+    std::env::var("SWARM_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Tens of clients: the always-on regression gate (CI `serve-load` runs
+/// this via `scripts/serve_load.sh` with `SWARM_CLIENTS=40`).
+#[test]
+fn swarm_small() {
+    run_swarm(env_clients(24), "small");
+}
+
+/// Hundreds of clients: the full load run behind `--ignored`, driven by
+/// `scripts/serve_load.sh` to seed `BENCH_serve.json`.
+#[test]
+#[ignore = "full-scale load run; driven by scripts/serve_load.sh"]
+fn swarm_full() {
+    run_swarm(env_clients(200).max(200), "full");
+}
