@@ -23,7 +23,9 @@ static BUNDLE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 /// the job's own artifacts instead of vanishing into `/tmp`.
 pub fn set_bundle_dir(dir: Option<PathBuf>) {
     // A poisoned lock only means another thread panicked mid-update of
-    // this Option; overwriting it is exactly what we want.
+    // this Option; overwriting it is exactly what we want. Lock-order
+    // audit: BUNDLE_DIR is a leaf lock — this guard covers one store
+    // and is never held across another acquisition or any I/O.
     let mut slot = BUNDLE_DIR
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -35,10 +37,16 @@ pub fn set_bundle_dir(dir: Option<PathBuf>) {
 /// `CRP_BUNDLE_DIR` environment variable, then the system temp dir.
 #[must_use]
 pub fn bundle_dir() -> PathBuf {
-    let configured = BUNDLE_DIR
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clone();
+    // Lock-order audit: the guard is scoped to exactly this clone, so
+    // it is released before the env-var and temp-dir fallbacks run —
+    // nothing (I/O, other locks, the caller's panic) executes with
+    // BUNDLE_DIR held, keeping it a leaf in the global lock order.
+    let configured = {
+        let slot = BUNDLE_DIR
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.clone()
+    };
     configured
         .or_else(|| std::env::var_os("CRP_BUNDLE_DIR").map(PathBuf::from))
         .unwrap_or_else(std::env::temp_dir)
@@ -70,6 +78,11 @@ pub fn fail_with_bundle(
     // name, and the fetch_add RMW guarantees it on its own; nothing else
     // synchronizes through this counter, so Relaxed is sufficient.
     let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
+    // `bundle_dir()` resolves (and releases the BUNDLE_DIR guard)
+    // before any snapshot I/O starts and before the panic below, so
+    // this function never holds a lock across blocking work or across
+    // unwinding — the poison-recovery in `set_bundle_dir`/`bundle_dir`
+    // is for *other* panicking threads, not this path.
     let dir: PathBuf = bundle_dir().join(format!(
         "crp-check-{}-{}-{seq}",
         design.name,

@@ -6,6 +6,7 @@
 //! examples, and lint fixtures are skipped — the panic and determinism
 //! rules exist for the *flow*, and test code panics by design.
 
+use crate::locks::analyze_sources;
 use crate::rules::{lint_file, Diagnostic, FileScope};
 use std::path::{Path, PathBuf};
 
@@ -40,6 +41,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, std::io::Error> {
     files.sort();
 
     let mut out = Vec::new();
+    let mut sources = Vec::new();
     for path in files {
         let src = std::fs::read_to_string(&path)?;
         let rel = path
@@ -48,7 +50,10 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, std::io::Error> {
             .to_string_lossy()
             .replace('\\', "/");
         out.extend(lint_file(&rel, &src, scope_of(&rel)));
+        sources.push((rel, src));
     }
+    // The lock rules are interprocedural: one pass over all sources.
+    out.extend(analyze_sources(&sources));
     out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(out)
 }

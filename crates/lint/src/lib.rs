@@ -5,18 +5,25 @@
 //! enforces that contract at runtime; this crate enforces it in the
 //! source, where it actually gets broken — a `HashMap` iteration whose
 //! order leaks into a cost, an `unwrap()` that turns a malformed DEF
-//! into a panic, an `Ordering::Relaxed` nobody can explain. Five rules
+//! into a panic, an `Ordering::Relaxed` nobody can explain. Seven rules
 //! (see [`rules::Rule`]) run over a hand-rolled lexer (the vendor tree
 //! is offline; there is no `syn` to lean on), with inline
 //! `// crp-lint: allow(<rule>, <reason>)` suppressions so that every
-//! exception is explained where it lives.
+//! exception is explained where it lives. Five rules are per-file token
+//! patterns; the two lock rules in [`locks`] are interprocedural — they
+//! extract per-function lock-acquisition sequences, propagate them
+//! across calls, and report lock-order cycles (`lock-order`) and
+//! blocking operations under a live guard (`held-lock-blocking`).
 //!
 //! Alongside the lexical pass, [`race`] is a bounded-interleaving
-//! checker (a miniature `loom`) and [`models`] are its models of the
+//! checker (a miniature `loom`); [`models`] are its models of the
 //! workspace's two lock-free protocols — the `run_indexed` work-steal
-//! cursor and the epoch-invalidated price cache. A passing model is a
-//! proof over *every* interleaving at model size that no schedule loses
-//! an index, claims one twice, or serves a stale-epoch cache hit.
+//! cursor and the epoch-invalidated price cache — and [`models_serve`]
+//! covers the `crp-serve` daemon's fair-share ledger and bounded
+//! connection pool. A passing model is a proof over *every* interleaving
+//! at model size that no schedule loses an index, claims one twice,
+//! serves a stale-epoch cache hit, breaks a ledger invariant, or drops a
+//! pooled connection.
 //!
 //! Run the lint gate with `cargo run -p crp-lint -- --deny-warnings`.
 
@@ -25,9 +32,12 @@
 
 pub mod engine;
 pub mod lexer;
+pub mod locks;
 pub mod models;
+pub mod models_serve;
 pub mod race;
 pub mod rules;
 
 pub use engine::{lint_workspace, scope_of, FLOW_PATHS};
+pub use locks::analyze_sources;
 pub use rules::{lint_file, Diagnostic, FileScope, Rule};

@@ -1,0 +1,1298 @@
+//! Interprocedural lock-order and held-lock-blocking analysis.
+//!
+//! Built on the same dependency-free token stream as the per-file rules
+//! (see [`crate::lexer`]), but global: the pass reads every workspace
+//! source at once, extracts per-function lock-acquisition sequences, and
+//! propagates them across direct calls to build one lock-order graph for
+//! the whole workspace.
+//!
+//! Two rules come out of it:
+//!
+//! - **`lock-order`** — a cycle in the graph means two code paths
+//!   acquire the same pair of locks in opposite orders (directly or
+//!   through calls), so some thread interleaving deadlocks. Every cycle
+//!   is reported once, with the witness site of each participating edge.
+//! - **`held-lock-blocking`** — a blocking operation (socket
+//!   `read`/`write`/`accept`, `JoinHandle::join`, `Condvar::wait`,
+//!   `sleep`, channel `recv`) performed while a guard is live stalls
+//!   every contender on that lock. Sites that are safe by design (a
+//!   condvar wait releases its own mutex atomically) carry the usual
+//!   mandatory-reason `// crp-lint: allow(held-lock-blocking, <why>)`.
+//!
+//! # How the model works, and what it cannot see
+//!
+//! A *lock* is identified by `"<file>::<base>"`, where `<base>` is the
+//! last path segment of the receiver of an argless `.lock()` / `.read()`
+//! / `.write()` call (`self.inner.state.lock()` → `state`; for a
+//! computed receiver like `self.shard_of(&key).lock()` the method name
+//! `shard_of` is used). Locks accessed from other files go through
+//! guard-returning helper functions (`lock_state`, `lock_inbox`, ...),
+//! which pass 1 discovers by their `MutexGuard`/`RwLock*Guard` return
+//! types and maps to the lock their body takes — so the identity stays
+//! anchored to the defining file.
+//!
+//! A guard bound by `let` lives to the end of its block (or an explicit
+//! `drop(guard)`); an unbound acquisition (`lock_inbox(x).push(..)`)
+//! lives to the end of its statement. A binding whose initializer chains
+//! past `unwrap`/`expect`/`unwrap_or_else` (e.g. `..lock()..clone()`)
+//! binds a *derived value*, not the guard, and is treated as
+//! statement-scoped.
+//!
+//! Calls are resolved by name and arity (`self` excluded on both sides),
+//! preferring same-file over same-crate over workspace-wide candidates,
+//! and excluding the enclosing function itself. Method calls whose names
+//! collide with ubiquitous std methods (`clear`, `get`, `push`, ...) are
+//! not resolved — the lexer cannot see receiver types, and resolving
+//! them drowns the graph in false edges; a lock-acquiring workspace
+//! method should simply not shadow a std collection name. Closure bodies
+//! are analyzed as part of their enclosing function, except arguments to
+//! `spawn(..)`, which run on a *different* thread and are analyzed as
+//! independent roots with an empty held-set. Calls through function
+//! pointers / `dyn Fn` parameters are invisible to the pass.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{item_end_from, matching, test_region_mask, Annotations, Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Guard types whose appearance in a return type marks a lock helper.
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Adapter methods that may sit between `.lock()` and the guard binding
+/// without changing what the binding holds.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unwrap_or"];
+
+/// Keywords and std constructors that look like calls but are not
+/// workspace functions.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "unsafe", "ref",
+    "break", "continue", "where", "impl", "dyn", "fn", "Some", "Ok", "Err", "None", "Box", "Vec",
+];
+
+/// Method names that collide with ubiquitous std methods: never resolved
+/// to workspace functions (see module docs).
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "binary_search",
+    "chain",
+    "chars",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "expect",
+    "extend",
+    "fetch_add",
+    "fetch_sub",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_some",
+    "is_none",
+    "iter",
+    "iter_mut",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "map",
+    "map_err",
+    "map_or",
+    "map_or_else",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "next",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "parse",
+    "pop",
+    "pop_front",
+    "position",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "split_once",
+    "split_whitespace",
+    "starts_with",
+    "store",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "zip",
+];
+
+/// One acquisition while other guards were (possibly) held.
+#[derive(Debug, Clone)]
+struct AcqEvent {
+    lock: String,
+    line: u32,
+    held: Vec<HeldLock>,
+}
+
+/// A lock live at some program point, with its acquisition line.
+#[derive(Debug, Clone)]
+struct HeldLock {
+    lock: String,
+    line: u32,
+}
+
+/// A blocking operation and the guards live across it.
+#[derive(Debug, Clone)]
+struct BlockEvent {
+    op: String,
+    line: u32,
+    held: Vec<HeldLock>,
+}
+
+/// A call site, with the guards live at the call.
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: String,
+    arity: usize,
+    method_form: bool,
+    line: u32,
+    held: Vec<HeldLock>,
+}
+
+/// Everything the body walk extracts from one function (or one
+/// `spawn(..)` closure, analyzed as an independent root).
+#[derive(Debug, Clone, Default)]
+struct FnBody {
+    acquires: Vec<AcqEvent>,
+    blocks: Vec<BlockEvent>,
+    calls: Vec<CallSite>,
+}
+
+/// One analyzed function.
+#[derive(Debug, Clone)]
+struct FnDef {
+    name: String,
+    file: String,
+    krate: String,
+    /// Parameter count excluding any `self` receiver.
+    arity: usize,
+    has_self: bool,
+    /// `usize::MAX` for `spawn` closures: never a call target.
+    body: FnBody,
+}
+
+/// A guard live during the body walk.
+#[derive(Debug)]
+struct Guard {
+    lock: String,
+    binding: Option<String>,
+    /// Statement-scoped (unbound or derived-value binding).
+    temp: bool,
+    /// Brace depth the guard was created at; it dies below that depth.
+    depth: i32,
+    line: u32,
+}
+
+/// A function signature found by the item scan, pre-walk.
+struct SigInfo {
+    name: String,
+    arity: usize,
+    has_self: bool,
+    returns_guard: bool,
+    /// Token range of the body: `(open_brace, close_brace)`.
+    body: (usize, usize),
+}
+
+/// Runs the lock-order and held-lock-blocking rules over a set of
+/// sources given as `(workspace-relative path, source text)` pairs.
+/// Returns the unsuppressed diagnostics, sorted by file and line.
+#[must_use]
+pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    // Lex everything once; keep per-file annotations for suppression.
+    let lexed: Vec<Vec<Token>> = files.iter().map(|(_, src)| lex(src)).collect();
+    let anns: BTreeMap<&str, Annotations> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((file, _), tokens)| (file.as_str(), Annotations::parse(tokens)))
+        .collect();
+
+    let mut sigs_per_file: Vec<Vec<SigInfo>> = Vec::new();
+    let mut codes: Vec<Vec<&Token>> = Vec::new();
+    for tokens in &lexed {
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mask = test_region_mask(&code);
+        sigs_per_file.push(scan_functions(&code, &mask));
+        codes.push(code);
+    }
+
+    // Pass 1: guard-returning helpers, mapped to the lock they take.
+    let mut helpers: BTreeMap<String, Vec<(String, usize, String)>> = BTreeMap::new();
+    for ((file, _), (code, sigs)) in files.iter().zip(codes.iter().zip(&sigs_per_file)) {
+        for sig in sigs.iter().filter(|s| s.returns_guard) {
+            if let Some(lock) = first_direct_lock(code, sig.body, file) {
+                helpers
+                    .entry(sig.name.clone())
+                    .or_default()
+                    .push((file.clone(), sig.arity, lock));
+            }
+        }
+    }
+
+    // Pass 2: walk every body, collecting acquisitions / blocks / calls.
+    let mut defs: Vec<FnDef> = Vec::new();
+    for ((file, _), (code, sigs)) in files.iter().zip(codes.iter().zip(&sigs_per_file)) {
+        for sig in sigs {
+            let mut spawns = Vec::new();
+            let body = walk_body(code, sig.body, file, &helpers, &mut spawns);
+            defs.push(FnDef {
+                name: sig.name.clone(),
+                file: file.clone(),
+                krate: crate_of(file),
+                arity: sig.arity,
+                has_self: sig.has_self,
+                body,
+            });
+            // spawn(..) closures run on their own threads: independent
+            // roots, never call targets.
+            while let Some((range, line)) = spawns.pop() {
+                let mut inner = Vec::new();
+                let body = walk_body(code, range, file, &helpers, &mut inner);
+                spawns.extend(inner);
+                defs.push(FnDef {
+                    name: format!("{}::<spawn closure at line {line}>", sig.name),
+                    file: file.clone(),
+                    krate: crate_of(file),
+                    arity: usize::MAX,
+                    has_self: false,
+                    body,
+                });
+            }
+        }
+    }
+
+    // Resolve call sites and compute the transitive acquire/block sets.
+    let by_name: BTreeMap<&str, Vec<usize>> = {
+        let mut m: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            if d.arity != usize::MAX {
+                m.entry(d.name.as_str()).or_default().push(i);
+            }
+        }
+        m
+    };
+    let resolved: Vec<Vec<Vec<usize>>> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            d.body
+                .calls
+                .iter()
+                .map(|c| resolve_call(&defs, &by_name, i, d, c))
+                .collect()
+        })
+        .collect();
+
+    let mut acq_star: Vec<BTreeSet<String>> = defs
+        .iter()
+        .map(|d| d.body.acquires.iter().map(|a| a.lock.clone()).collect())
+        .collect();
+    let mut blk_star: Vec<Option<String>> = defs
+        .iter()
+        .map(|d| {
+            d.body
+                .blocks
+                .first()
+                .map(|b| format!("{} at {}:{}", b.op, d.file, b.line))
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..defs.len() {
+            for (c, targets) in defs[i].body.calls.iter().zip(&resolved[i]) {
+                for &t in targets {
+                    let add: Vec<String> = acq_star[t]
+                        .iter()
+                        .filter(|l| !acq_star[i].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        acq_star[i].extend(add);
+                        changed = true;
+                    }
+                    if blk_star[i].is_none() {
+                        if let Some(why) = &blk_star[t] {
+                            blk_star[i] = Some(format!("call to `{}` may block ({why})", c.callee));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the lock-order graph and the blocking findings.
+    let mut out = Vec::new();
+    let mut edges: BTreeMap<LockEdge, EdgeWitness> = BTreeMap::new();
+    let mut add_edge = |from: &HeldLock, to: &str, file: &str, line: u32, note: String| {
+        edges
+            .entry((from.lock.clone(), to.to_string()))
+            .or_insert_with(|| (file.to_string(), line, note));
+    };
+    for (i, d) in defs.iter().enumerate() {
+        for a in &d.body.acquires {
+            for h in &a.held {
+                let note = format!(
+                    "`{}` acquires `{}` while holding `{}` (held since line {})",
+                    d.name, a.lock, h.lock, h.line
+                );
+                add_edge(h, &a.lock, &d.file, a.line, note);
+            }
+        }
+        for (c, targets) in d.body.calls.iter().zip(&resolved[i]) {
+            if c.held.is_empty() {
+                continue;
+            }
+            for &t in targets {
+                for lock in &acq_star[t] {
+                    for h in &c.held {
+                        let note = format!(
+                            "`{}` calls `{}`, which acquires `{}`, while holding `{}` \
+                             (held since line {})",
+                            d.name, c.callee, lock, h.lock, h.line
+                        );
+                        add_edge(h, lock, &d.file, c.line, note);
+                    }
+                }
+                if let Some(why) = &blk_star[t] {
+                    push_unless_allowed(
+                        &mut out,
+                        &anns,
+                        Rule::HeldLockBlocking,
+                        &d.file,
+                        c.line,
+                        format!(
+                            "call to `{}` may block ({why}) while holding `{}`; \
+                             blocking inside a critical section stalls every contender \
+                             — move it outside the guard or annotate why it is safe",
+                            c.callee,
+                            held_list(&c.held),
+                        ),
+                    );
+                }
+            }
+        }
+        for b in &d.body.blocks {
+            if b.held.is_empty() {
+                continue;
+            }
+            push_unless_allowed(
+                &mut out,
+                &anns,
+                Rule::HeldLockBlocking,
+                &d.file,
+                b.line,
+                format!(
+                    "{} while holding `{}`; blocking inside a critical section stalls \
+                     every contender — move it outside the guard or annotate why it \
+                     is safe",
+                    b.op,
+                    held_list(&b.held),
+                ),
+            );
+        }
+    }
+
+    report_cycles(&edges, &anns, &mut out);
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    out
+}
+
+/// `crates/serve/src/x.rs` → `crates/serve`.
+fn crate_of(file: &str) -> String {
+    file.split('/').take(2).collect::<Vec<_>>().join("/")
+}
+
+fn held_list(held: &[HeldLock]) -> String {
+    held.iter()
+        .map(|h| h.lock.as_str())
+        .collect::<Vec<_>>()
+        .join("`, `")
+}
+
+fn push_unless_allowed(
+    out: &mut Vec<Diagnostic>,
+    anns: &BTreeMap<&str, Annotations>,
+    rule: Rule,
+    file: &str,
+    line: u32,
+    message: String,
+) {
+    if anns.get(file).is_some_and(|a| a.allowed(rule, line)) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------------
+// Item scan
+// ---------------------------------------------------------------------
+
+/// Finds every non-test `fn` with a body, recording its signature.
+fn scan_functions(code: &[&Token], mask: &[bool]) -> Vec<SigInfo> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !code[i].is_ident("fn") || code[i + 1].kind != TokenKind::Ident || mask[i] {
+            i += 1;
+            continue;
+        }
+        let name = code[i + 1].text.clone();
+        // Skip generics between the name and the parameter list.
+        let mut j = i + 2;
+        if code.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < code.len() {
+                if code[j].is_punct('<') {
+                    depth += 1;
+                } else if code[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let Some(params_end) = matching(code, j, '(', ')') else {
+            break;
+        };
+        let (arity, has_self) = param_info(&code[j + 1..params_end]);
+        // Return type runs to the body `{` (or `;` for a bodyless trait
+        // method, which we skip).
+        let mut k = params_end + 1;
+        let mut depth = 0i32;
+        let mut returns_guard = false;
+        let mut body_open = None;
+        while k < code.len() {
+            let t = code[k];
+            if t.kind == TokenKind::Ident && GUARD_TYPES.contains(&t.text.as_str()) {
+                returns_guard = true;
+            }
+            if t.kind == TokenKind::Punct {
+                match t.text.as_bytes().first() {
+                    Some(b'(' | b'[' | b'<') => depth += 1,
+                    Some(b')' | b']' | b'>') => depth -= 1,
+                    Some(b';') if depth <= 0 => break,
+                    Some(b'{') if depth <= 0 => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = body_open else {
+            i = k + 1;
+            continue;
+        };
+        let close = matching(code, open, '{', '}').unwrap_or(code.len() - 1);
+        out.push(SigInfo {
+            name,
+            arity,
+            has_self,
+            returns_guard,
+            body: (open, close),
+        });
+        // Continue *inside* the body so nested fns are found too; the
+        // body walk skips them when analyzing the outer function.
+        i += 2;
+    }
+    out
+}
+
+/// `(parameter count excluding self, has a self receiver)`.
+fn param_info(params: &[&Token]) -> (usize, bool) {
+    if params.is_empty() {
+        return (0, false);
+    }
+    let mut segments = 1usize;
+    let mut depth = 0i32;
+    for t in params {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'<') => depth += 1,
+                Some(b')' | b']' | b'>') => depth -= 1,
+                Some(b',') if depth == 0 => segments += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma creates an empty trailing segment.
+    if params.last().is_some_and(|t| t.is_punct(',')) {
+        segments -= 1;
+    }
+    // `self`, `&self`, `&'a self`, `&mut self`, `mut self`.
+    let has_self = params
+        .iter()
+        .take_while(|t| {
+            t.is_punct('&')
+                || t.kind == TokenKind::Lifetime
+                || t.is_ident("mut")
+                || t.is_ident("self")
+        })
+        .any(|t| t.is_ident("self"));
+    (segments - usize::from(has_self), has_self)
+}
+
+/// The lock taken by the first argless `.lock()`/`.read()`/`.write()` in
+/// a helper's body, qualified with the helper's file.
+fn first_direct_lock(code: &[&Token], body: (usize, usize), file: &str) -> Option<String> {
+    let (open, close) = body;
+    for i in open + 1..close {
+        let t = code[i];
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i >= 1
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            return Some(format!("{file}::{}", receiver_base(code, i - 1)));
+        }
+    }
+    None
+}
+
+/// The last path segment of the receiver ending at the `.` at `dot`:
+/// `self.inner.state.lock()` → `state`; `self.shard_of(&k).lock()` →
+/// `shard_of`.
+fn receiver_base(code: &[&Token], dot: usize) -> String {
+    if dot == 0 {
+        return "<unknown>".to_string();
+    }
+    let prev = code[dot - 1];
+    if prev.kind == TokenKind::Ident {
+        return prev.text.clone();
+    }
+    if prev.is_punct(')') {
+        // Walk back over the call's parens to the method name.
+        let mut depth = 1i32;
+        let mut m = dot - 1;
+        while m > 0 {
+            m -= 1;
+            if code[m].is_punct(')') {
+                depth += 1;
+            } else if code[m].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        if m > 0 && code[m - 1].kind == TokenKind::Ident {
+            return code[m - 1].text.clone();
+        }
+    }
+    format!("<expr at line {}>", code[dot].line)
+}
+
+/// Index of the first token of the receiver chain ending at the `.` at
+/// `dot` (used to look for a `let` binding before it).
+fn receiver_start(code: &[&Token], dot: usize) -> usize {
+    let mut r = dot;
+    loop {
+        if r == 0 {
+            return 0;
+        }
+        let prev = code[r - 1];
+        if prev.is_punct(')') {
+            let mut depth = 1i32;
+            let mut m = r - 1;
+            while m > 0 {
+                m -= 1;
+                if code[m].is_punct(')') {
+                    depth += 1;
+                } else if code[m].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            r = m;
+            continue;
+        }
+        if prev.kind == TokenKind::Ident {
+            r -= 1;
+            continue;
+        }
+        if prev.is_punct('.') && r >= 1 {
+            r -= 1;
+            continue;
+        }
+        if prev.is_punct(':') && r >= 2 && code[r - 2].is_punct(':') {
+            r -= 2;
+            continue;
+        }
+        return r;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Body walk
+// ---------------------------------------------------------------------
+
+/// Blocking methods flagged regardless of argument count.
+const BLOCKING_ANY_ARGS: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "write_all",
+    "flush",
+];
+
+/// Blocking methods only when argless (`path.join(sep)` and
+/// `slice.join(..)` are string ops; `stream.read(&mut buf)` is I/O but
+/// argless `.read()` is an RwLock acquisition).
+const BLOCKING_ARGLESS: &[&str] = &["join", "accept"];
+
+#[allow(clippy::too_many_lines)]
+fn walk_body(
+    code: &[&Token],
+    body: (usize, usize),
+    file: &str,
+    helpers: &BTreeMap<String, Vec<(String, usize, String)>>,
+    spawns: &mut Vec<((usize, usize), u32)>,
+) -> FnBody {
+    let (open, close) = body;
+    let mut out = FnBody::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let held = |guards: &[Guard]| -> Vec<HeldLock> {
+        guards
+            .iter()
+            .map(|g| HeldLock {
+                lock: g.lock.clone(),
+                line: g.line,
+            })
+            .collect()
+    };
+
+    let mut i = open + 1;
+    while i < close {
+        let t = code[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                Some(b';') => guards.retain(|g| !(g.temp && depth <= g.depth)),
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+
+        // drop(guard) ends that guard's region early.
+        if t.text == "drop"
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+            && code.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let name = code[i + 2].text.as_str();
+            guards.retain(|g| g.binding.as_deref() != Some(name));
+            i += 4;
+            continue;
+        }
+
+        // A nested `fn` item is its own root; skip it here.
+        if t.text == "fn" && code.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            i = item_end_from(code, i);
+            continue;
+        }
+
+        // spawn(..) arguments run on another thread.
+        if t.text == "spawn" && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(c) = matching(code, i + 1, '(', ')') {
+                spawns.push(((i + 1, c), t.line));
+                i = c + 1;
+                continue;
+            }
+        }
+
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let next_paren = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let argless = next_paren && code.get(i + 2).is_some_and(|n| n.is_punct(')'));
+
+        // Acquisition, method form: argless `.lock()`/`.read()`/`.write()`.
+        if prev_dot && argless && matches!(t.text.as_str(), "lock" | "read" | "write") {
+            let lock = format!("{file}::{}", receiver_base(code, i - 1));
+            let start = receiver_start(code, i - 1);
+            record_acquisition(
+                &mut out,
+                &mut guards,
+                &held,
+                code,
+                lock,
+                start,
+                i + 2,
+                depth,
+            );
+            i += 3;
+            continue;
+        }
+
+        // Acquisition through a guard-returning helper (bare/path call).
+        if !prev_dot && next_paren {
+            if let Some(cands) = helpers.get(&t.text) {
+                let close_p = matching(code, i + 1, '(', ')').unwrap_or(i + 1);
+                let arity = count_args(code, i + 1, close_p);
+                let pick = cands
+                    .iter()
+                    .find(|(f, a, _)| f == file && *a == arity)
+                    .or_else(|| cands.iter().find(|(_, a, _)| *a == arity));
+                if let Some((_, _, lock)) = pick {
+                    let lock = lock.clone();
+                    record_acquisition(&mut out, &mut guards, &held, code, lock, i, close_p, depth);
+                    i = close_p + 1;
+                    continue;
+                }
+            }
+        }
+
+        // Blocking operations.
+        if next_paren {
+            let name = t.text.as_str();
+            let is_blocking = (prev_dot && BLOCKING_ANY_ARGS.contains(&name))
+                || (prev_dot && argless && BLOCKING_ARGLESS.contains(&name))
+                || (prev_dot && !argless && matches!(name, "read" | "write"))
+                || (!prev_dot && name == "sleep");
+            if is_blocking {
+                let op = if prev_dot {
+                    format!("`.{name}(..)`")
+                } else {
+                    "`sleep(..)`".to_string()
+                };
+                out.blocks.push(BlockEvent {
+                    op,
+                    line: t.line,
+                    held: held(&guards),
+                });
+                i += 1;
+                continue;
+            }
+        }
+
+        // Plain call site, kept for interprocedural propagation.
+        if next_paren
+            && !NON_CALLS.contains(&t.text.as_str())
+            && !(prev_dot && STD_METHODS.contains(&t.text.as_str()))
+        {
+            let close_p = matching(code, i + 1, '(', ')').unwrap_or(i + 1);
+            out.calls.push(CallSite {
+                callee: t.text.clone(),
+                arity: count_args(code, i + 1, close_p),
+                method_form: prev_dot,
+                line: t.line,
+                held: held(&guards),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Records an acquisition event and pushes the new guard, classifying
+/// it as block-scoped (a plain `let` binding) or statement-scoped.
+#[allow(clippy::too_many_arguments)]
+fn record_acquisition(
+    out: &mut FnBody,
+    guards: &mut Vec<Guard>,
+    held: &dyn Fn(&[Guard]) -> Vec<HeldLock>,
+    code: &[&Token],
+    lock: String,
+    expr_start: usize,
+    call_close: usize,
+    depth: i32,
+) {
+    let line = code[expr_start].line;
+    out.acquires.push(AcqEvent {
+        lock: lock.clone(),
+        line,
+        held: held(guards),
+    });
+
+    // `let [mut] name = <acquisition>` (or a plain reassignment).
+    let binding = if expr_start >= 2
+        && code[expr_start - 1].is_punct('=')
+        && !code
+            .get(expr_start.wrapping_sub(2))
+            .is_some_and(|t| t.is_punct('=') || t.is_punct('<') || t.is_punct('>'))
+        && code[expr_start - 2].kind == TokenKind::Ident
+        && !code[expr_start - 2].is_ident("mut")
+    {
+        Some(code[expr_start - 2].text.clone())
+    } else {
+        None
+    };
+
+    // If the initializer chains past the guard adapters (e.g. a trailing
+    // `.clone()`), the binding holds a derived value, not the guard.
+    let mut derived = false;
+    let mut j = call_close + 1;
+    while j < code.len() {
+        let t = code[j];
+        if t.is_punct('?') {
+            j += 1;
+            continue;
+        }
+        if t.is_punct('.') && code.get(j + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            if code.get(j + 2).is_some_and(|n| n.is_punct('('))
+                && GUARD_ADAPTERS.contains(&code[j + 1].text.as_str())
+            {
+                j = matching(code, j + 2, '(', ')').map_or(code.len(), |c| c + 1);
+                continue;
+            }
+            derived = true;
+        }
+        break;
+    }
+
+    let temp = binding.is_none() || derived;
+    guards.push(Guard {
+        lock,
+        binding: if derived { None } else { binding },
+        temp,
+        depth,
+        line,
+    });
+}
+
+/// Number of top-level comma-separated arguments between `open` and
+/// `close` (exclusive).
+fn count_args(code: &[&Token], open: usize, close: usize) -> usize {
+    if close <= open + 1 {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut args = 1usize;
+    for t in &code[open + 1..close] {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => depth += 1,
+                Some(b')' | b']' | b'}') => depth -= 1,
+                Some(b',') if depth == 0 => args += 1,
+                _ => {}
+            }
+        }
+    }
+    if code[close - 1].is_punct(',') {
+        args -= 1;
+    }
+    args
+}
+
+// ---------------------------------------------------------------------
+// Call resolution
+// ---------------------------------------------------------------------
+
+/// Resolves a call site to candidate definitions: name and arity must
+/// match; same-file candidates shadow same-crate, which shadow the rest
+/// of the workspace; the enclosing function never resolves to itself.
+fn resolve_call(
+    defs: &[FnDef],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    d: &FnDef,
+    c: &CallSite,
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(c.callee.as_str()) else {
+        return Vec::new();
+    };
+    let arity_ok =
+        |t: &FnDef| t.arity == c.arity || (!c.method_form && t.has_self && t.arity + 1 == c.arity);
+    let matches: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&t| arity_ok(&defs[t]))
+        .collect();
+    let pick = |pred: &dyn Fn(&FnDef) -> bool| -> Vec<usize> {
+        matches
+            .iter()
+            .copied()
+            .filter(|&t| pred(&defs[t]))
+            .collect()
+    };
+    let scoped = {
+        let same_file = pick(&|t| t.file == d.file);
+        if same_file.is_empty() {
+            let same_crate = pick(&|t| t.krate == d.krate);
+            if same_crate.is_empty() {
+                matches
+            } else {
+                same_crate
+            }
+        } else {
+            same_file
+        }
+    };
+    scoped.into_iter().filter(|&t| t != caller).collect()
+}
+
+// ---------------------------------------------------------------------
+// Cycle detection
+// ---------------------------------------------------------------------
+
+/// A directed `(from_lock, to_lock)` edge in the lock-order graph:
+/// some function acquired `to_lock` while `from_lock` was held.
+type LockEdge = (String, String);
+
+/// The first site that witnessed an edge: `(file, line, note)`.
+type EdgeWitness = (String, u32, String);
+
+/// Reports every strongly-connected component of the lock graph (and
+/// every self-loop) as one `lock-order` diagnostic carrying the witness
+/// site of each participating edge.
+fn report_cycles(
+    edges: &BTreeMap<LockEdge, EdgeWitness>,
+    anns: &BTreeMap<&str, Annotations>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+        adj.entry(to).or_default();
+    }
+    for component in sccs(&adj) {
+        let in_scc: BTreeSet<&str> = component.iter().copied().collect();
+        let is_cycle = component.len() > 1
+            || component
+                .first()
+                .is_some_and(|n| edges.contains_key(&((*n).to_string(), (*n).to_string())));
+        if !is_cycle {
+            continue;
+        }
+        let witnesses: Vec<(&LockEdge, &EdgeWitness)> = edges
+            .iter()
+            .filter(|((f, t), _)| in_scc.contains(f.as_str()) && in_scc.contains(t.as_str()))
+            .collect();
+        let Some((_, &(ref file, line, _))) = witnesses.first() else {
+            continue;
+        };
+        let paths = witnesses
+            .iter()
+            .map(|((f, t), (wf, wl, note))| format!("`{f}` -> `{t}` at {wf}:{wl} ({note})"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let message = if component.len() == 1 {
+            format!("potential self-deadlock: {paths}")
+        } else {
+            format!(
+                "potential deadlock: locks {} form an acquisition cycle: {paths}",
+                component
+                    .iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        push_unless_allowed(out, anns, Rule::LockOrder, file, line, message);
+    }
+}
+
+/// Tarjan's strongly-connected components, iterative, deterministic
+/// (nodes visited in sorted order).
+fn sccs<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<&'a str>> {
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan: each frame is (node, iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs: Vec<usize> = adj[nodes[v]]
+                .iter()
+                .filter_map(|s| index_of.get(s).copied())
+                .collect();
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components.sort();
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        analyze_sources(&[("t.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = "
+            fn fwd(s: &S) { let ga = s.a.lock().unwrap(); let gb = s.b.lock().unwrap(); }
+            fn bwd(s: &S) { let gb = s.b.lock().unwrap(); let ga = s.a.lock().unwrap(); }
+        ";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::LockOrder);
+        assert!(d[0].message.contains("t.rs::a"), "{}", d[0].message);
+        assert!(d[0].message.contains("t.rs::b"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+            fn one(s: &S) { let ga = s.a.lock().unwrap(); let gb = s.b.lock().unwrap(); }
+            fn two(s: &S) { let ga = s.a.lock().unwrap(); let gb = s.b.lock().unwrap(); }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_via_call() {
+        let src = "
+            fn take_b(s: &S) -> u32 { let gb = s.b.lock().unwrap(); 0 }
+            fn fwd(s: &S) { let ga = s.a.lock().unwrap(); take_b(s); }
+            fn bwd(s: &S) { let gb = s.b.lock().unwrap(); let ga = s.a.lock().unwrap(); }
+        ";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("take_b"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn reacquire_is_a_self_deadlock() {
+        let src = "fn f(s: &S) { let g1 = s.a.lock().unwrap(); let g2 = s.a.lock().unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("self-deadlock"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn blocking_under_guard_is_flagged_and_scoped() {
+        let src = "
+            fn f(s: &S, stream: &mut TcpStream) {
+                let g = s.a.lock().unwrap();
+                stream.read(&mut buf).ok();
+                drop(g);
+                stream.read(&mut buf).ok();
+            }
+        ";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::HeldLockBlocking);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn string_join_and_argless_rwlock_read_are_not_blocking() {
+        let src = "
+            fn f(s: &S, parts: &[String]) -> String {
+                let g = s.a.lock().unwrap();
+                let r = s.map.read().unwrap();
+                parts.join(\",\")
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honored() {
+        let src = "
+            fn f(s: &S, h: JoinHandle<()>) {
+                let g = s.a.lock().unwrap();
+                // crp-lint: allow(held-lock-blocking, the join target never takes s.a)
+                h.join().ok();
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn spawn_closures_do_not_leak_locks_to_the_caller() {
+        let src = "
+            fn f(s: &Arc<S>) {
+                let ga = s.a.lock().unwrap();
+                let s2 = s.clone();
+                std::thread::spawn(move || { let gb = s2.b.lock().unwrap(); });
+            }
+            fn g(s: &S) { let gb = s.b.lock().unwrap(); helper_a(s); }
+            fn helper_a(s: &S) { let ga = s.a.lock().unwrap(); }
+        ";
+        // f holds a and *spawns* a closure taking b: no a->b edge, so
+        // g's b->a ordering is not a cycle.
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn helper_returning_guard_carries_its_lock_identity() {
+        let files = [
+            (
+                "h.rs".to_string(),
+                "pub fn lock_state(m: &Mutex<u32>) -> MutexGuard<'_, u32> {
+                    m.state.lock().unwrap()
+                }"
+                .to_string(),
+            ),
+            (
+                "u.rs".to_string(),
+                "fn f(s: &S) { let g = lock_state(&s.m); let gb = s.b.lock().unwrap(); }
+                 fn r(s: &S) { let gb = s.b.lock().unwrap(); let g = lock_state(&s.m); }"
+                    .to_string(),
+            ),
+        ];
+        let d = analyze_sources(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("h.rs::state"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn statement_temporary_guard_ends_at_semicolon() {
+        let src = "
+            fn f(s: &S, stream: &mut TcpStream) {
+                s.a.lock().unwrap().push(1);
+                stream.read(&mut buf).ok();
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn derived_binding_is_not_a_guard() {
+        let src = "
+            fn f(s: &S, stream: &mut TcpStream) {
+                let v = s.a.lock().unwrap().clone();
+                stream.read(&mut buf).ok();
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,30 +1,64 @@
 //! The `crp-lint` command-line driver.
 //!
 //! ```text
-//! cargo run -p crp-lint -- [--deny-warnings] [--race] [ROOT]
+//! cargo run -p crp-lint -- [--deny-warnings] [--race] [--race-deep]
+//!                          [--format text|json] [ROOT]
 //! ```
 //!
 //! Lints every workspace source file under `ROOT` (default: the
 //! workspace the binary was built from, falling back to the current
 //! directory) and prints one line per finding. `--deny-warnings` makes
 //! any finding fatal (exit 1) — that is how CI runs it. `--race`
-//! additionally exhausts the protocol models of [`crp_lint::models`].
+//! additionally exhausts the protocol models of [`crp_lint::models`]
+//! and [`crp_lint::models_serve`]; `--race-deep` swaps in the larger
+//! model instances the scheduled CI job runs. `--format json` prints
+//! the findings as a stable JSON array (objects with `rule`, `file`,
+//! `line`, `reason`, sorted by file then line) for machine consumption
+//! — CI uploads it as an artifact when the gate fails.
 
 use crp_lint::models::{CachePhaseModel, StealPriceModel, WorkStealModel};
+use crp_lint::models_serve::{ConnPoolModel, FairshareModel, LockOrderModel};
 use crp_lint::race::{explore, Model};
+use crp_lint::Diagnostic;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Total lint rules enforced (see `crp_lint::rules::Rule`).
+const RULE_COUNT: usize = 7;
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut race = false;
+    let mut deep = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny = true,
             "--race" => race = true,
+            "--race-deep" => {
+                race = true;
+                deep = true;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "crp-lint: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format=json" => json = true,
+            "--format=text" => json = false,
             "--help" | "-h" => {
-                println!("usage: crp-lint [--deny-warnings] [--race] [ROOT]");
+                println!(
+                    "usage: crp-lint [--deny-warnings] [--race] [--race-deep] \
+                     [--format text|json] [ROOT]"
+                );
                 return ExitCode::SUCCESS;
             }
             _ => root = Some(PathBuf::from(arg)),
@@ -39,18 +73,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for d in &diagnostics {
-        println!("{d}");
+    if json {
+        println!("{}", findings_json(&diagnostics));
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
     }
 
     let mut failed = deny && !diagnostics.is_empty();
     if race {
-        failed |= !run_race_models();
+        failed |= !run_race_models(deep);
     }
 
-    match diagnostics.len() {
-        0 => println!("crp-lint: clean ({} rules)", 5),
-        n => println!("crp-lint: {n} finding(s)"),
+    if !json {
+        match diagnostics.len() {
+            0 => println!("crp-lint: clean ({RULE_COUNT} rules)"),
+            n => println!("crp-lint: {n} finding(s)"),
+        }
     }
     if failed {
         ExitCode::FAILURE
@@ -59,8 +99,55 @@ fn main() -> ExitCode {
     }
 }
 
-/// Exhausts the three protocol models; returns false on any violation.
-fn run_race_models() -> bool {
+/// Renders the findings as a JSON array with a stable field order:
+/// `rule`, `file`, `line`, `reason` — already sorted by file then line
+/// by `lint_workspace`. Hand-rolled (the vendor tree is offline) with
+/// full string escaping, so any finding text round-trips.
+fn findings_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\": ");
+        json_string(d.rule.name(), &mut out);
+        out.push_str(", \"file\": ");
+        json_string(&d.file, &mut out);
+        out.push_str(&format!(", \"line\": {}", d.line));
+        out.push_str(", \"reason\": ");
+        json_string(&d.message, &mut out);
+        out.push('}');
+    }
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes, control
+/// characters as `\u00XX`).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Exhausts every protocol model; returns false on any violation. The
+/// `deep` flag swaps in the larger serve-model instances (more jobs,
+/// more pick attempts, accept back-pressure) used by the scheduled CI
+/// run.
+fn run_race_models(deep: bool) -> bool {
     let mut ok = true;
     ok &= report(
         "work-steal cursor (3 workers, 4 items)",
@@ -74,6 +161,26 @@ fn run_race_models() -> bool {
         "work-steal + shared cache key (2 workers, 3 items)",
         &StealPriceModel::new(3, 2),
     );
+    if deep {
+        ok &= report(
+            "fair-share ledger, deep (recovery + 5 picks)",
+            &FairshareModel::deep(),
+        );
+        ok &= report(
+            "serve conn pool, deep (4 conns, cap 2, 2 workers)",
+            &ConnPoolModel::deep(),
+        );
+    } else {
+        ok &= report(
+            "fair-share ledger (admit/cancel/rollback vs. snapshots)",
+            &FairshareModel::correct(),
+        );
+        ok &= report(
+            "serve conn pool (3 conns, 2 workers, shutdown)",
+            &ConnPoolModel::correct(),
+        );
+    }
+    ok &= report("two-lock acquisition order", &LockOrderModel::consistent());
     ok
 }
 

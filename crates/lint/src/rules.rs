@@ -46,6 +46,14 @@ pub enum Rule {
     /// truncation corrupts geometry. Use `try_from` or annotate the
     /// range invariant.
     CastTruncation,
+    /// A cycle in the global lock-order graph: two code paths acquire
+    /// the same pair of locks in opposite orders (directly or through
+    /// calls), so some interleaving deadlocks. See [`crate::locks`].
+    LockOrder,
+    /// A blocking operation (socket `read`/`write`/`accept`,
+    /// `JoinHandle::join`, `Condvar::wait`, `sleep`, channel `recv`)
+    /// performed while a lock guard is live. See [`crate::locks`].
+    HeldLockBlocking,
     /// A malformed or unknown `crp-lint:` annotation.
     BadSuppression,
 }
@@ -60,6 +68,8 @@ impl Rule {
             Rule::NoPanicPaths => "no-panic-paths",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::CastTruncation => "cast-truncation",
+            Rule::LockOrder => "lock-order",
+            Rule::HeldLockBlocking => "held-lock-blocking",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -73,6 +83,8 @@ impl Rule {
             "no-panic-paths" => Some(Rule::NoPanicPaths),
             "forbid-unsafe" => Some(Rule::ForbidUnsafe),
             "cast-truncation" => Some(Rule::CastTruncation),
+            "lock-order" => Some(Rule::LockOrder),
+            "held-lock-blocking" => Some(Rule::HeldLockBlocking),
             _ => None,
         }
     }
@@ -169,7 +181,7 @@ pub fn lint_file(file: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
 // ---------------------------------------------------------------------
 
 /// Parsed `crp-lint: allow(...)` and `atomics(...)` comments.
-struct Annotations {
+pub(crate) struct Annotations {
     /// `(rule, comment line)` of each well-formed suppression.
     allows: Vec<(Rule, u32)>,
     /// Lines carrying a well-formed `atomics(<protocol>): <why>` note.
@@ -179,7 +191,7 @@ struct Annotations {
 }
 
 impl Annotations {
-    fn parse(tokens: &[Token]) -> Annotations {
+    pub(crate) fn parse(tokens: &[Token]) -> Annotations {
         let mut a = Annotations {
             allows: Vec::new(),
             atomics: Vec::new(),
@@ -247,7 +259,7 @@ impl Annotations {
 
     /// Whether a diagnostic of `rule` at `line` is suppressed: an allow
     /// on the same line or on one of the two lines above it.
-    fn allowed(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn allowed(&self, rule: Rule, line: u32) -> bool {
         self.allows
             .iter()
             .any(|&(r, l)| r == rule && l <= line && line <= l + 2)
@@ -272,7 +284,7 @@ fn find_after<'a>(haystack: &'a str, needle: &str) -> Option<&'a str> {
 
 /// Marks every code token covered by a `#[cfg(test)]` or `#[test]` item
 /// (attribute through the item's closing brace or semicolon).
-fn test_region_mask(code: &[&Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(code: &[&Token]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -329,7 +341,7 @@ fn attr_is_test(attr: &[&Token]) -> bool {
 
 /// Index one past the end of the item starting at `start`: either the
 /// first top-level `;` or the brace block's closing `}`.
-fn item_end_from(code: &[&Token], start: usize) -> usize {
+pub(crate) fn item_end_from(code: &[&Token], start: usize) -> usize {
     let mut depth_paren = 0i32;
     let mut j = start;
     while j < code.len() {
@@ -351,7 +363,7 @@ fn item_end_from(code: &[&Token], start: usize) -> usize {
 }
 
 /// Index of the token closing the group opened at `open_idx`.
-fn matching(code: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching(code: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0i32;
     for (j, t) in code.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {

@@ -1,0 +1,32 @@
+//! Lock-across-IO fixture for the `held-lock-blocking` rule. Expected
+//! findings: three sites — a socket write under the `peers` guard, a
+//! thread join under the `stats` guard (the explicit `drop` comes too
+//! late), and a sleep inside the `stats` critical section.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct Registry {
+    peers: Mutex<Vec<TcpStream>>,
+    stats: Mutex<u64>,
+}
+
+pub fn broadcast(r: &Registry, frame: &[u8]) {
+    let mut peers = r.peers.lock().unwrap();
+    for peer in peers.iter_mut() {
+        peer.write_all(frame).ok();
+    }
+}
+
+pub fn shutdown(r: &Registry, worker: JoinHandle<()>) {
+    let g = r.stats.lock().unwrap();
+    worker.join().ok();
+    drop(g);
+}
+
+pub fn throttle(r: &Registry) {
+    let _g = r.stats.lock().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

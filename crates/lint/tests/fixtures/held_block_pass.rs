@@ -1,0 +1,41 @@
+//! The operations of `held_block_fail.rs` restructured or justified:
+//! the socket writes happen on a drained batch after the guard is
+//! dropped, the join carries a reasoned suppression (the joined thread
+//! can never wait on `stats`), and the sleep sits outside the critical
+//! section. Expected findings: none.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct Registry {
+    peers: Mutex<Vec<TcpStream>>,
+    stats: Mutex<u64>,
+}
+
+pub fn broadcast(r: &Registry, frame: &[u8]) {
+    let mut drained: Vec<TcpStream> = {
+        let mut peers = r.peers.lock().unwrap();
+        std::mem::take(&mut *peers)
+    };
+    for peer in drained.iter_mut() {
+        peer.write_all(frame).ok();
+    }
+    let mut peers = r.peers.lock().unwrap();
+    peers.append(&mut drained);
+}
+
+pub fn shutdown(r: &Registry, worker: JoinHandle<()>) {
+    let _g = r.stats.lock().unwrap();
+    // crp-lint: allow(held-lock-blocking, the joined worker only touches peers and can never wait on stats
+    worker.join().ok();
+}
+
+pub fn throttle(r: &Registry) {
+    {
+        let mut st = r.stats.lock().unwrap();
+        *st += 1;
+    }
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

@@ -1,0 +1,37 @@
+//! The same shard structure as `lock_order_fail.rs` with a consistent
+//! global acquisition order — `index` before `stats` on every path —
+//! and a scoped re-acquisition whose first guard is dropped before the
+//! second is taken. Expected findings: none.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    index: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Shards {
+    pub fn record(&self, key: u32) {
+        let mut idx = self.index.lock().unwrap();
+        let mut st = self.stats.lock().unwrap();
+        idx.push(key);
+        *st += 1;
+    }
+
+    pub fn evict(&self, key: u32) {
+        let mut idx = self.index.lock().unwrap();
+        let mut st = self.stats.lock().unwrap();
+        idx.retain(|&k| k != key);
+        *st -= 1;
+    }
+
+    pub fn requeue(&self, key: u32) {
+        {
+            let mut q = self.queue.lock().unwrap();
+            q.retain(|&k| k != key);
+        }
+        let mut q = self.queue.lock().unwrap();
+        q.push(key);
+    }
+}

@@ -3,12 +3,20 @@
 //! suppression cases inside), and malformed suppressions must be
 //! findings of their own.
 
-use crp_lint::{lint_file, FileScope, Rule};
+use crp_lint::{analyze_sources, lint_file, FileScope, Rule};
+
+fn read_fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
 
 fn lint_fixture(name: &str, scope: FileScope) -> Vec<crp_lint::Diagnostic> {
-    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
-    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    lint_file(name, &src, scope)
+    lint_file(name, &read_fixture(name), scope)
+}
+
+/// Runs only the interprocedural lock analysis over one fixture.
+fn lock_fixture(name: &str) -> Vec<crp_lint::Diagnostic> {
+    analyze_sources(&[(name.to_string(), read_fixture(name))])
 }
 
 const FLOW: FileScope = FileScope {
@@ -123,6 +131,67 @@ fn malformed_suppressions_are_findings() {
         d.iter().any(|d| d.rule == Rule::NoPanicPaths),
         "reasonless allow suppressed the finding: {d:?}"
     );
+}
+
+#[test]
+fn lock_order_fires_on_inversion_and_reacquisition() {
+    let d = lock_fixture("lock_order_fail.rs");
+    assert!(
+        d.iter().all(|d| d.rule == Rule::LockOrder),
+        "unexpected rules: {d:?}"
+    );
+    assert_eq!(d.len(), 2, "cycle + self-deadlock: {d:?}");
+    let cycle = d
+        .iter()
+        .find(|x| x.message.contains("acquisition cycle"))
+        .unwrap_or_else(|| panic!("no cycle finding: {d:?}"));
+    // Both witness paths of the inversion are named in one finding.
+    assert!(
+        cycle
+            .message
+            .contains("`lock_order_fail.rs::index` -> `lock_order_fail.rs::stats`"),
+        "{}",
+        cycle.message
+    );
+    assert!(
+        cycle
+            .message
+            .contains("`lock_order_fail.rs::stats` -> `lock_order_fail.rs::index`"),
+        "{}",
+        cycle.message
+    );
+    assert!(
+        d.iter().any(|x| x.message.contains("self-deadlock")),
+        "no self-deadlock finding: {d:?}"
+    );
+}
+
+#[test]
+fn lock_order_passes_a_consistent_global_order() {
+    let d = lock_fixture("lock_order_pass.rs");
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn held_lock_blocking_fires_on_io_join_and_sleep() {
+    let d = lock_fixture("held_block_fail.rs");
+    assert!(
+        d.iter().all(|d| d.rule == Rule::HeldLockBlocking),
+        "unexpected rules: {d:?}"
+    );
+    assert_eq!(d.len(), 3, "write_all, join, sleep: {d:?}");
+    for op in ["`.write_all(..)`", "`.join(..)`", "`sleep(..)`"] {
+        assert!(
+            d.iter().any(|x| x.message.contains(op)),
+            "missing {op}: {d:?}"
+        );
+    }
+}
+
+#[test]
+fn held_lock_blocking_passes_restructured_and_justified_sites() {
+    let d = lock_fixture("held_block_pass.rs");
+    assert!(d.is_empty(), "false positives: {d:?}");
 }
 
 /// The gate the CI job enforces: the workspace's own tree is clean.

@@ -94,7 +94,7 @@ pub struct TenantView {
     pub counters: TenantCounters,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Tenant {
     quota: TenantQuota,
     high: VecDeque<u64>,
@@ -148,11 +148,24 @@ pub enum FinishKind {
     Parked,
 }
 
+/// What [`Ledger::pick`] changed besides the lanes, so that
+/// [`Ledger::rollback_dispatch`] can invert it exactly: the DRR cursor
+/// as it stood before the pick, and the served tenant's deficit before
+/// the serve cost (and any emptied-queue forfeit) was applied.
+#[derive(Debug, Clone)]
+struct PickMemo {
+    tenant: String,
+    cursor_before: Option<String>,
+    deficit_before: u64,
+}
+
 /// The fair-share bookkeeping core: per-tenant lanes, quotas, and the
 /// deficit-round-robin cursor. All mutation happens through the methods
 /// below; [`Ledger::check_invariants`] re-derives every aggregate and is
-/// the property-test oracle.
-#[derive(Debug)]
+/// the property-test oracle. `Clone` is cheap (a few maps of counters),
+/// which lets the `crp-lint` race models explore interleavings over the
+/// real ledger rather than a re-implementation.
+#[derive(Debug, Clone)]
 pub struct Ledger {
     queue_capacity: usize,
     default_quota: TenantQuota,
@@ -162,6 +175,15 @@ pub struct Ledger {
     /// Name of the tenant served last; the next DRR pass starts just
     /// after it in the ring.
     cursor: Option<String>,
+    /// Temporary capacity slack created by quota-bypassing re-entries
+    /// (recovery, dispatch rollback): the high-water queue depth they
+    /// produced. Admission still gates on `queue_capacity` alone, so the
+    /// slack only keeps [`Ledger::check_invariants`] honest until the
+    /// backlog drains back under the configured cap, at which point it
+    /// resets to zero.
+    capacity_floor: usize,
+    /// State of the most recent [`Ledger::pick`], for exact rollback.
+    last_pick: Option<PickMemo>,
 }
 
 impl Ledger {
@@ -183,6 +205,8 @@ impl Ledger {
             tenants: BTreeMap::new(),
             queued_total: 0,
             cursor: None,
+            capacity_floor: 0,
+            last_pick: None,
         }
     }
 
@@ -250,7 +274,11 @@ impl Ledger {
 
     /// Enqueues a recovered job, bypassing admission quotas (it was
     /// already accepted by a previous daemon process and must not be
-    /// lost), but still counted in queue depths.
+    /// lost), but still counted in queue depths. A recovered backlog may
+    /// exceed the configured capacity (e.g. after the cap was lowered
+    /// between daemon runs); the overflow is recorded as temporary
+    /// capacity slack so the invariant oracle stays honest while new
+    /// admissions remain gated by the configured cap.
     pub fn enqueue_recovered(&mut self, tenant: &str, lane: Lane, id: u64) {
         let t = self.tenant_mut(tenant);
         match lane {
@@ -259,23 +287,45 @@ impl Ledger {
         }
         t.counters.admitted += 1;
         self.queued_total += 1;
+        self.capacity_floor = self.capacity_floor.max(self.queued_total);
     }
 
     /// Undoes a [`Ledger::pick`] whose worker could not be spawned: the
     /// job returns to the *front* of its lane and the dispatch — running
-    /// slot, `granted` threads, and the dispatched counter — is struck,
-    /// as if it never happened. Quota checks are bypassed because the
-    /// job was already admitted.
+    /// slot, `granted` threads, the dispatched counter, the DRR cursor,
+    /// and the serve's deficit cost (including an emptied-queue forfeit)
+    /// — is struck, as if it never happened. Quota checks are bypassed
+    /// because the job was already admitted.
+    ///
+    /// The cursor/deficit restoration uses the memo of the *most recent*
+    /// pick; the scheduler upholds this by rolling a failed dispatch
+    /// back before picking again (it does both under one lock). A
+    /// rollback that does not match the last pick still restores the
+    /// counters and refunds the one-credit serve cost, it just cannot
+    /// undo a forfeit or the cursor move.
     pub fn rollback_dispatch(&mut self, tenant: &str, lane: Lane, id: u64, granted: usize) {
-        let t = self.tenant_mut(tenant);
-        match lane {
-            Lane::High => t.high.push_front(id),
-            Lane::Normal => t.normal.push_front(id),
+        {
+            let t = self.tenant_mut(tenant);
+            match lane {
+                Lane::High => t.high.push_front(id),
+                Lane::Normal => t.normal.push_front(id),
+            }
+            t.running = t.running.saturating_sub(1);
+            t.threads = t.threads.saturating_sub(granted);
+            t.counters.dispatched = t.counters.dispatched.saturating_sub(1);
         }
-        t.running = t.running.saturating_sub(1);
-        t.threads = t.threads.saturating_sub(granted);
-        t.counters.dispatched = t.counters.dispatched.saturating_sub(1);
+        match self.last_pick.take() {
+            Some(memo) if memo.tenant == tenant => {
+                self.tenant_mut(tenant).deficit = memo.deficit_before;
+                self.cursor = memo.cursor_before;
+            }
+            memo => {
+                self.tenant_mut(tenant).deficit += 1;
+                self.last_pick = memo;
+            }
+        }
         self.queued_total += 1;
+        self.capacity_floor = self.capacity_floor.max(self.queued_total);
     }
 
     /// Picks the next job to dispatch by deficit round robin and moves
@@ -295,6 +345,7 @@ impl Ledger {
             return None;
         }
         // Start the pass just after the last-served tenant.
+        let cursor_before = self.cursor.clone();
         let start = self
             .cursor
             .as_ref()
@@ -326,6 +377,7 @@ impl Ledger {
                 } else {
                     continue;
                 };
+                let deficit_before = t.deficit;
                 t.deficit -= 1;
                 t.running += 1;
                 t.counters.dispatched += 1;
@@ -335,7 +387,16 @@ impl Ledger {
                     t.deficit = 0;
                 }
                 self.queued_total -= 1;
+                if self.queued_total <= self.queue_capacity {
+                    // Any recovery/rollback overflow has drained.
+                    self.capacity_floor = 0;
+                }
                 self.cursor = Some(name.clone());
+                self.last_pick = Some(PickMemo {
+                    tenant: name.clone(),
+                    cursor_before,
+                    deficit_before,
+                });
                 return Some((name.clone(), id, lane));
             }
         }
@@ -381,6 +442,9 @@ impl Ledger {
         if removed > 0 {
             t.counters.cancelled += 1;
             self.queued_total -= removed;
+            if self.queued_total <= self.queue_capacity {
+                self.capacity_floor = 0;
+            }
             true
         } else {
             false
@@ -457,10 +521,11 @@ impl Ledger {
                 self.queued_total
             ));
         }
-        if self.queued_total > self.queue_capacity {
+        let effective_capacity = self.queue_capacity.max(self.capacity_floor);
+        if self.queued_total > effective_capacity {
             return Err(format!(
-                "queued_total {} > capacity {}",
-                self.queued_total, self.queue_capacity
+                "queued_total {} > capacity {} (incl. recovery slack)",
+                self.queued_total, effective_capacity
             ));
         }
         Ok(())
@@ -615,6 +680,123 @@ mod tests {
                 v.name
             );
         }
+        l.check_invariants().unwrap();
+    }
+
+    /// Rolling back a dispatch restores the DRR ring position exactly:
+    /// the re-pick sequence after a rollback equals the sequence an
+    /// uninterrupted run would have produced.
+    #[test]
+    fn rollback_leaves_drr_ring_position_unaffected() {
+        let reference = {
+            let mut l = ledger(16);
+            l.admit("a", Lane::Normal, 0).unwrap();
+            l.admit("b", Lane::Normal, 1).unwrap();
+            l.admit("a", Lane::Normal, 2).unwrap();
+            let mut order = Vec::new();
+            while let Some((t, id, _)) = l.pick() {
+                l.grant_threads(&t, 1);
+                order.push((t.clone(), id));
+                l.finish(&t, 1, FinishKind::Completed);
+            }
+            order
+        };
+
+        let mut l = ledger(16);
+        l.admit("a", Lane::Normal, 0).unwrap();
+        l.admit("b", Lane::Normal, 1).unwrap();
+        l.admit("a", Lane::Normal, 2).unwrap();
+        // First dispatch fails to spawn and is rolled back mid-grant.
+        let (t, id, lane) = l.pick().unwrap();
+        l.grant_threads(&t, 2);
+        l.rollback_dispatch(&t, lane, id, 2);
+        l.check_invariants().unwrap();
+        let mut order = Vec::new();
+        while let Some((t, id, _)) = l.pick() {
+            l.grant_threads(&t, 1);
+            order.push((t.clone(), id));
+            l.finish(&t, 1, FinishKind::Completed);
+            l.check_invariants().unwrap();
+        }
+        assert_eq!(order, reference, "rollback moved the DRR ring");
+    }
+
+    /// A pick that empties the tenant's queue forfeits leftover credit;
+    /// rolling that pick back must restore the forfeited deficit too, or
+    /// the tenant would lose its whole burst to a failed spawn. The
+    /// restore point is the deficit as it stood right before the serve
+    /// cost — *after* the DRR top-up, which applied to every ring
+    /// member and is not the rolled-back pick's to undo.
+    #[test]
+    fn rollback_restores_forfeited_deficit() {
+        let mut l = ledger(16);
+        l.admit("a", Lane::Normal, 0).unwrap();
+        let (t, id, lane) = l.pick().unwrap();
+        assert_eq!(l.views()[0].deficit, 0, "emptied queue forfeits credit");
+        l.grant_threads(&t, 1);
+        l.rollback_dispatch(&t, lane, id, 1);
+        // `ledger()` gives `a` weight 4: the pick's round-2 top-up
+        // granted 4 credits, and rollback strikes only the serve cost
+        // and the forfeit, not the ring-wide top-up.
+        assert_eq!(
+            l.views()[0].deficit,
+            4,
+            "rollback must undo the forfeit back to the post-top-up credit"
+        );
+        l.check_invariants().unwrap();
+        let (_, id2, _) = l.pick().unwrap();
+        assert_eq!(id2, 0);
+    }
+
+    /// Cancelling one queued job while another of the same tenant is
+    /// mid-grant (picked, threads granted, not yet finished) keeps every
+    /// invariant and does not disturb the ring cursor.
+    #[test]
+    fn cancel_mid_grant_keeps_invariants_and_ring() {
+        let mut l = Ledger::new(16, quota(8, 2, 2), vec![("b".to_string(), quota(8, 2, 2))]);
+        l.admit("a", Lane::Normal, 0).unwrap();
+        l.admit("a", Lane::Normal, 1).unwrap();
+        l.admit("b", Lane::Normal, 2).unwrap();
+        let (t, id, _) = l.pick().unwrap();
+        assert_eq!((t.as_str(), id), ("a", 0));
+        l.grant_threads(&t, 2);
+        l.check_invariants().unwrap();
+        // Mid-grant: cancel the tenant's other queued job.
+        assert!(l.cancel_queued("a", 1));
+        l.check_invariants().unwrap();
+        // The ring continues after `a` as if the cancel never happened.
+        let (t2, id2, _) = l.pick().unwrap();
+        assert_eq!((t2.as_str(), id2), ("b", 2));
+        l.grant_threads(&t2, 1);
+        l.finish(&t, 2, FinishKind::Cancelled);
+        l.finish(&t2, 1, FinishKind::Completed);
+        assert_eq!(l.queued_total(), 0);
+        assert_eq!(l.threads_in_use(), 0);
+        l.check_invariants().unwrap();
+    }
+
+    /// A recovered backlog may exceed the configured capacity without
+    /// falsifying the oracle; the slack drains away and normal admission
+    /// stays gated by the configured cap throughout.
+    #[test]
+    fn recovered_overflow_keeps_oracle_honest() {
+        let mut l = Ledger::new(2, quota(8, 2, 2), Vec::new());
+        for id in 0..4 {
+            l.enqueue_recovered("a", Lane::Normal, id);
+            l.check_invariants().unwrap();
+        }
+        assert_eq!(l.queued_total(), 4);
+        // New admissions still see a full queue.
+        assert!(l.admit("b", Lane::Normal, 9).unwrap_err().contains("full"));
+        // Drain below the cap: the slack resets, the cap is enforced
+        // again, and the oracle holds at every step.
+        while let Some((t, _, _)) = l.pick() {
+            l.grant_threads(&t, 1);
+            l.finish(&t, 1, FinishKind::Completed);
+            l.check_invariants().unwrap();
+        }
+        assert_eq!(l.queued_total(), 0);
+        l.admit("b", Lane::Normal, 9).unwrap();
         l.check_invariants().unwrap();
     }
 

@@ -597,6 +597,7 @@ impl Scheduler {
             let (guard, _timeout) = self
                 .inner
                 .cond
+                // crp-lint: allow(held-lock-blocking, condvar wait atomically releases the state mutex it is paired with; no other lock is held
                 .wait_timeout(st, std::time::Duration::from_millis(500))
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
@@ -641,6 +642,7 @@ impl Scheduler {
             let guard = self
                 .inner
                 .cond
+                // crp-lint: allow(held-lock-blocking, condvar wait atomically releases the state mutex it is paired with; no other lock is held
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
@@ -676,6 +678,7 @@ impl Scheduler {
                     let guard = self
                         .inner
                         .cond
+                        // crp-lint: allow(held-lock-blocking, condvar wait atomically releases the state mutex it is paired with; no other lock is held
                         .wait(st)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     st = guard;

@@ -206,6 +206,16 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                if shutdown.load(Ordering::Acquire) {
+                    // Raced with a shutdown request while blocked in
+                    // accept(): the workers are exiting, so an enqueued
+                    // connection would never be serviced. Turn it away.
+                    metrics.conn_rejected();
+                    let mut s = stream;
+                    let _ = s.write_all(err("server shutting down").as_bytes());
+                    let _ = s.write_all(b"\n");
+                    return;
+                }
                 if metrics.open_conns() >= max_conns as u64 {
                     // Pool full: one error line, best effort, then drop.
                     metrics.conn_rejected();
@@ -263,10 +273,22 @@ fn worker_loop(
             }
         });
         if shutdown.load(Ordering::Acquire) {
+            // Adopt anything still parked in the inbox: connections the
+            // accept thread handed over that no cycle has picked up yet
+            // would otherwise be dropped un-flushed and leak the
+            // open-connection gauge (the lost-wakeup shape the
+            // ConnPoolModel race model checks for).
+            {
+                let mut incoming = lock_inbox(inbox);
+                conns.append(&mut incoming);
+            }
             // Final flush so in-flight responses (including the shutdown
-            // acknowledgement) reach their clients, then exit.
+            // acknowledgement) reach their clients — outside the inbox
+            // lock, since socket writes block — then settle the gauge
+            // and exit.
             for conn in &mut conns {
                 flush_out(conn);
+                metrics.conn_closed();
             }
             return;
         }
