@@ -5,6 +5,7 @@ use crate::config::CrpConfig;
 use crate::parallel::run_indexed;
 use crate::price_cache::{PriceCache, PriceRegion};
 use crp_check::CheckViolation;
+use crp_geom::sum_ordered;
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
 use crp_router::{pattern_route_tree_discounted, NetRoute, PinNode, Routing};
@@ -157,14 +158,16 @@ fn price_one_net(
 
     let (price, routed) = if stay {
         let p = if congestion_aware {
-            current
-                .edges()
-                .iter()
-                .map(|&e| match scratch.discount.get(&e) {
-                    Some(&delta) => grid.cost_adjusted(e, delta),
-                    None => grid.cost(e),
-                })
-                .sum::<f64>()
+            // Term order is the route's own edge order: fixed.
+            sum_ordered(
+                current
+                    .edges()
+                    .iter()
+                    .map(|&e| match scratch.discount.get(&e) {
+                        Some(&delta) => grid.cost_adjusted(e, delta),
+                        None => grid.cost(e),
+                    }),
+            )
         } else {
             // Length-only pricing ([18]'s model: route length and
             // detours; no via or congestion term).
@@ -174,14 +177,15 @@ fn price_one_net(
     } else {
         let route = pattern_route_tree_discounted(grid, &scratch.pins, &scratch.discount);
         let p = if congestion_aware {
-            route
-                .edges()
-                .iter()
-                .map(|&e| match scratch.discount.get(&e) {
-                    Some(&delta) => grid.cost_adjusted(e, delta),
-                    None => grid.cost(e),
-                })
-                .sum::<f64>()
+            sum_ordered(
+                route
+                    .edges()
+                    .iter()
+                    .map(|&e| match scratch.discount.get(&e) {
+                        Some(&delta) => grid.cost_adjusted(e, delta),
+                        None => grid.cost(e),
+                    }),
+            )
         } else {
             route.wirelength() as f64
         };

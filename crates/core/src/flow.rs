@@ -66,6 +66,7 @@ pub struct FlowState {
 /// and the stage timers. See the crate docs for the five steps.
 #[derive(Debug)]
 pub struct Crp {
+    // crp-lint: allow(state-coverage, not snapshot state; restore takes the config from its caller)
     config: CrpConfig,
     critical_hist: HashSet<CellId>,
     moved_set: HashSet<CellId>,
@@ -73,6 +74,7 @@ pub struct Crp {
     /// Per-net price memo, persistent across iterations: entries survive
     /// until the congestion under them changes (epoch invalidation), so
     /// later iterations re-price only the nets the flow actually touched.
+    // crp-lint: allow(state-coverage, pure memo; restore starts it cold and results stay bit-identical)
     cache: PriceCache,
     /// Accumulated stage timings (Figure 3 data source).
     pub timers: StageTimers,
@@ -93,6 +95,7 @@ impl Crp {
     }
 
     /// Captures the engine's resumable state (see [`FlowState`]).
+    // crp-lint: checkpoint(Crp, snapshot, restore)
     #[must_use]
     pub fn snapshot(&self) -> FlowState {
         // crp-lint: allow(nondet-iter, sorted on the next line before any use)

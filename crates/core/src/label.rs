@@ -1,6 +1,7 @@
 //! Algorithm 1: labeling critical cells.
 
 use crate::config::CrpConfig;
+use crp_geom::sum_ordered;
 use crp_grid::RouteGrid;
 use crp_netlist::{CellId, Design};
 use crp_router::Routing;
@@ -11,11 +12,13 @@ use std::collections::HashSet;
 /// of all its nets. This is the sort key of Algorithm 1, line 3.
 #[must_use]
 pub fn cell_routed_cost(design: &Design, grid: &RouteGrid, routing: &Routing, cell: CellId) -> f64 {
-    design
-        .nets_of_cell(cell)
-        .into_iter()
-        .map(|n| routing.route(n).cost(grid))
-        .sum()
+    // `nets_of_cell` returns nets in id order: a fixed term sequence.
+    sum_ordered(
+        design
+            .nets_of_cell(cell)
+            .into_iter()
+            .map(|n| routing.route(n).cost(grid)),
+    )
 }
 
 /// Algorithm 1: selects the critical-cell set for one CR&P iteration.

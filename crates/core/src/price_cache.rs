@@ -58,6 +58,9 @@ struct Entry {
     /// Inclusive gcell region the price depends on (bbox + 1 margin).
     lo: (u16, u16),
     hi: (u16, u16),
+    /// The memoized price. Only valid while the region is untouched —
+    /// every read must sit behind a `region_touched_since` check.
+    // crp-lint: epoch-protected(price)
     price: f64,
 }
 

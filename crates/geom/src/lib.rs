@@ -7,7 +7,8 @@
 //! - [`Rect`] — axis-aligned rectangles (cell outlines, blockages, pins),
 //! - [`Interval`] — 1D closed-open spans used by track and row math,
 //! - [`Orientation`] — the eight DEF placement orientations,
-//! - [`Axis`] and [`Dir`] — preferred-direction bookkeeping for layers.
+//! - [`Axis`] and [`Dir`] — preferred-direction bookkeeping for layers,
+//! - [`sum_ordered`] — the workspace's order-pinned `f64` reduction.
 //!
 //! # Examples
 //!
@@ -27,11 +28,13 @@ mod interval;
 mod orient;
 mod point;
 mod rect;
+mod reduce;
 
 pub use interval::Interval;
 pub use orient::{Orientation, ParseOrientationError};
 pub use point::{Point, Point3};
 pub use rect::{bounding_box, Rect};
+pub use reduce::sum_ordered;
 
 use serde::{Deserialize, Serialize};
 

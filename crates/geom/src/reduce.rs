@@ -1,0 +1,68 @@
+//! Order-pinned floating-point reductions.
+//!
+//! `f64` addition does not commute bitwise — `(a + b) + c` and
+//! `a + (b + c)` can differ in the last ulp — so every sum that reaches
+//! a candidate cost, an ILP input, or an output file must run in one
+//! fixed order for the flow's bit-identical reproducibility contract to
+//! hold. [`sum_ordered`] is that contract spelled as a function: a plain
+//! left-to-right accumulation whose name states that the caller has
+//! pinned the term order (a slice, a `BTreeMap` view, an index range —
+//! never a hash iteration or a cross-thread merge). The `float-order`
+//! rule of `crp-lint` points flagged reduction sites here.
+
+/// Sums `terms` left to right in their iteration order.
+///
+/// Bit-identical for a given term sequence; the caller is responsible
+/// for the sequence itself being fixed (which is exactly what the name
+/// documents at the call site).
+///
+/// ```
+/// use crp_geom::sum_ordered;
+///
+/// let terms = [0.1, 0.2, 0.3];
+/// assert_eq!(sum_ordered(terms), 0.1 + 0.2 + 0.3);
+/// assert_eq!(sum_ordered([]), 0.0);
+/// ```
+#[must_use]
+pub fn sum_ordered<I>(terms: I) -> f64
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut acc = 0.0;
+    for t in terms {
+        acc += t;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_iterator_sum_on_the_same_order() {
+        let terms: Vec<f64> = (0..100).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let std_sum: f64 = terms.iter().copied().sum();
+        assert_eq!(
+            sum_ordered(terms.iter().copied()).to_bits(),
+            std_sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn order_matters_and_is_respected() {
+        // A classic absorption case: the tiny terms vanish when added
+        // after the big one, survive when added first.
+        let fwd = [1e16, 1.0, 1.0, 1.0, 1.0];
+        let rev = [1.0, 1.0, 1.0, 1.0, 1e16];
+        assert_ne!(
+            sum_ordered(fwd.iter().copied()).to_bits(),
+            sum_ordered(rev.iter().copied()).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(sum_ordered(std::iter::empty()), 0.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! The mutable routing-resource grid.
 
 use crate::{Edge, GridConfig};
-use crp_geom::{Axis, Dbu, Point, Rect};
+use crp_geom::{sum_ordered, Axis, Dbu, Point, Rect};
 use crp_netlist::Design;
 use serde::{Deserialize, Serialize};
 
@@ -557,13 +557,13 @@ impl RouteGrid {
     /// Total wirelength currently routed, in gcell units.
     #[must_use]
     pub fn total_wire_usage(&self) -> f64 {
-        self.wire.iter().sum()
+        sum_ordered(self.wire.iter().copied())
     }
 
     /// Total via endpoints currently recorded (2 per via).
     #[must_use]
     pub fn total_via_endpoints(&self) -> f64 {
-        self.vias.iter().sum()
+        sum_ordered(self.vias.iter().copied())
     }
 
     /// Gathers a congestion snapshot over all planar edges.

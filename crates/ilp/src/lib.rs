@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use crp_geom::sum_ordered;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -392,7 +393,7 @@ impl Model {
                 }
             }
             if ok {
-                let cost: f64 = chosen.iter().map(|v| self.costs[v.index()]).sum();
+                let cost: f64 = sum_ordered(chosen.iter().map(|v| self.costs[v.index()]));
                 if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                     best = Some((chosen, cost));
                 }
@@ -561,7 +562,7 @@ impl Search<'_> {
             return;
         }
         let Some(states) = self.scan() else { return };
-        let base: f64 = states.iter().map(|s| s.min_cost).sum();
+        let base: f64 = sum_ordered(states.iter().map(|s| s.min_cost));
         if cost_so_far + base >= self.best_cost {
             return;
         }

@@ -52,8 +52,11 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, std::io::Error> {
         out.extend(lint_file(&rel, &src, scope_of(&rel)));
         sources.push((rel, src));
     }
-    // The lock rules are interprocedural: one pass over all sources.
+    // The lock, dataflow, and coverage rules are interprocedural: each
+    // is one pass over all sources.
     out.extend(analyze_sources(&sources));
+    out.extend(crate::dataflow::analyze(&sources));
+    out.extend(crate::coverage::analyze(&sources));
     out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(out)
 }

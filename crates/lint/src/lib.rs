@@ -5,15 +5,21 @@
 //! enforces that contract at runtime; this crate enforces it in the
 //! source, where it actually gets broken — a `HashMap` iteration whose
 //! order leaks into a cost, an `unwrap()` that turns a malformed DEF
-//! into a panic, an `Ordering::Relaxed` nobody can explain. Seven rules
+//! into a panic, an `Ordering::Relaxed` nobody can explain. Ten rules
 //! (see [`rules::Rule`]) run over a hand-rolled lexer (the vendor tree
 //! is offline; there is no `syn` to lean on), with inline
 //! `// crp-lint: allow(<rule>, <reason>)` suppressions so that every
 //! exception is explained where it lives. Five rules are per-file token
-//! patterns; the two lock rules in [`locks`] are interprocedural — they
-//! extract per-function lock-acquisition sequences, propagate them
-//! across calls, and report lock-order cycles (`lock-order`) and
-//! blocking operations under a live guard (`held-lock-blocking`).
+//! patterns; the rest are interprocedural passes over a workspace-wide
+//! call graph: the two lock rules in [`locks`] extract per-function
+//! lock-acquisition sequences, propagate them across calls, and report
+//! lock-order cycles (`lock-order`) and blocking operations under a
+//! live guard (`held-lock-blocking`); the dataflow tier in [`dataflow`]
+//! flags order-sensitive `f64` reductions over hash-ordered or parallel
+//! sources (`float-order`) and unvalidated reads of epoch-protected
+//! cache fields (`epoch-protocol`); and [`coverage`] checks that
+//! checkpoint codecs mention every field of the structs they serialize
+//! (`state-coverage`).
 //!
 //! Alongside the lexical pass, [`race`] is a bounded-interleaving
 //! checker (a miniature `loom`); [`models`] are its models of the
@@ -30,6 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod locks;

@@ -63,14 +63,14 @@ const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unwrap_
 
 /// Keywords and std constructors that look like calls but are not
 /// workspace functions.
-const NON_CALLS: &[&str] = &[
+pub(crate) const NON_CALLS: &[&str] = &[
     "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "unsafe", "ref",
     "break", "continue", "where", "impl", "dyn", "fn", "Some", "Ok", "Err", "None", "Box", "Vec",
 ];
 
 /// Method names that collide with ubiquitous std methods: never resolved
 /// to workspace functions (see module docs).
-const STD_METHODS: &[&str] = &[
+pub(crate) const STD_METHODS: &[&str] = &[
     "abs",
     "all",
     "and_then",
@@ -251,13 +251,15 @@ struct Guard {
 }
 
 /// A function signature found by the item scan, pre-walk.
-struct SigInfo {
-    name: String,
-    arity: usize,
-    has_self: bool,
-    returns_guard: bool,
+pub(crate) struct SigInfo {
+    pub(crate) name: String,
+    pub(crate) arity: usize,
+    pub(crate) has_self: bool,
+    pub(crate) returns_guard: bool,
+    /// Whether `f64` appears in the return-type tokens.
+    pub(crate) returns_f64: bool,
     /// Token range of the body: `(open_brace, close_brace)`.
-    body: (usize, usize),
+    pub(crate) body: (usize, usize),
 }
 
 /// Runs the lock-order and held-lock-blocking rules over a set of
@@ -503,7 +505,7 @@ fn push_unless_allowed(
 // ---------------------------------------------------------------------
 
 /// Finds every non-test `fn` with a body, recording its signature.
-fn scan_functions(code: &[&Token], mask: &[bool]) -> Vec<SigInfo> {
+pub(crate) fn scan_functions(code: &[&Token], mask: &[bool]) -> Vec<SigInfo> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 1 < code.len() {
@@ -542,11 +544,15 @@ fn scan_functions(code: &[&Token], mask: &[bool]) -> Vec<SigInfo> {
         let mut k = params_end + 1;
         let mut depth = 0i32;
         let mut returns_guard = false;
+        let mut returns_f64 = false;
         let mut body_open = None;
         while k < code.len() {
             let t = code[k];
             if t.kind == TokenKind::Ident && GUARD_TYPES.contains(&t.text.as_str()) {
                 returns_guard = true;
+            }
+            if t.is_ident("f64") {
+                returns_f64 = true;
             }
             if t.kind == TokenKind::Punct {
                 match t.text.as_bytes().first() {
@@ -572,6 +578,7 @@ fn scan_functions(code: &[&Token], mask: &[bool]) -> Vec<SigInfo> {
             arity,
             has_self,
             returns_guard,
+            returns_f64,
             body: (open, close),
         });
         // Continue *inside* the body so nested fns are found too; the
@@ -953,7 +960,7 @@ fn record_acquisition(
 
 /// Number of top-level comma-separated arguments between `open` and
 /// `close` (exclusive).
-fn count_args(code: &[&Token], open: usize, close: usize) -> usize {
+pub(crate) fn count_args(code: &[&Token], open: usize, close: usize) -> usize {
     if close <= open + 1 {
         return 0;
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p crp-lint -- [--deny-warnings] [--race] [--race-deep]
-//!                          [--format text|json] [ROOT]
+//!                          [--format text|json] [--rules <list>]
+//!                          [--skip-rules <list>] [ROOT]
 //! ```
 //!
 //! Lints every workspace source file under `ROOT` (default: the
@@ -14,23 +15,29 @@
 //! model instances the scheduled CI job runs. `--format json` prints
 //! the findings as a stable JSON array (objects with `rule`, `file`,
 //! `line`, `reason`, sorted by file then line) for machine consumption
-//! — CI uploads it as an artifact when the gate fails.
+//! — CI uploads it as an artifact when the gate fails. `--rules` /
+//! `--skip-rules` take comma-separated rule names and keep / drop the
+//! named rules' findings, so CI jobs and local runs can target subsets
+//! (e.g. `--rules float-order,epoch-protocol`).
 
 use crp_lint::models::{CachePhaseModel, StealPriceModel, WorkStealModel};
 use crp_lint::models_serve::{ConnPoolModel, FairshareModel, LockOrderModel};
 use crp_lint::race::{explore, Model};
-use crp_lint::Diagnostic;
+use crp_lint::{Diagnostic, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Total lint rules enforced (see `crp_lint::rules::Rule`).
-const RULE_COUNT: usize = 7;
+/// Total lint rules enforced (see `crp_lint::rules::Rule`;
+/// `bad-suppression` is the meta-rule on top).
+const RULE_COUNT: usize = 10;
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut race = false;
     let mut deep = false;
     let mut json = false;
+    let mut keep: Option<Vec<Rule>> = None;
+    let mut skip: Vec<Rule> = Vec::new();
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,10 +61,35 @@ fn main() -> ExitCode {
             },
             "--format=json" => json = true,
             "--format=text" => json = false,
+            "--rules" | "--skip-rules" => {
+                let Some(list) = args.next() else {
+                    eprintln!("crp-lint: {arg} expects a comma-separated rule list");
+                    return ExitCode::FAILURE;
+                };
+                match parse_rule_list(&list) {
+                    Ok(rules) if arg == "--rules" => {
+                        keep.get_or_insert_with(Vec::new).extend(rules);
+                    }
+                    Ok(rules) => skip.extend(rules),
+                    Err(bad) => {
+                        eprintln!(
+                            "crp-lint: unknown rule `{bad}` in {arg}; known rules: {}",
+                            rule_names().join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: crp-lint [--deny-warnings] [--race] [--race-deep] \
-                     [--format text|json] [ROOT]"
+                     [--format text|json] [--rules <list>] [--skip-rules <list>] [ROOT]\n\
+                     \n\
+                     --rules       keep only the named rules' findings (comma-separated)\n\
+                     --skip-rules  drop the named rules' findings (comma-separated)\n\
+                     \n\
+                     rules: {}",
+                    rule_names().join(", ")
                 );
                 return ExitCode::SUCCESS;
             }
@@ -66,13 +98,17 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(workspace_root);
 
-    let diagnostics = match crp_lint::lint_workspace(&root) {
+    let mut diagnostics = match crp_lint::lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("crp-lint: cannot read workspace at {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(keep) = &keep {
+        diagnostics.retain(|d| keep.contains(&d.rule));
+    }
+    diagnostics.retain(|d| !skip.contains(&d.rule));
     if json {
         println!("{}", findings_json(&diagnostics));
     } else {
@@ -87,8 +123,23 @@ fn main() -> ExitCode {
     }
 
     if !json {
+        let filtered = keep.is_some() || !skip.is_empty();
         match diagnostics.len() {
-            0 => println!("crp-lint: clean ({RULE_COUNT} rules)"),
+            0 if !filtered => println!("crp-lint: clean ({RULE_COUNT} rules)"),
+            0 => {
+                // `bad-suppression` is the meta-rule on top of the
+                // ten; it is not counted, matching RULE_COUNT.
+                let active = Rule::ALL
+                    .iter()
+                    .filter(|&&r| r != Rule::BadSuppression)
+                    .filter(|r| match &keep {
+                        Some(k) => k.contains(r),
+                        None => true,
+                    })
+                    .filter(|r| !skip.contains(r))
+                    .count();
+                println!("crp-lint: clean ({active} of {RULE_COUNT} rules checked)");
+            }
             n => println!("crp-lint: {n} finding(s)"),
         }
     }
@@ -97,6 +148,27 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Every rule name, in report order.
+fn rule_names() -> Vec<&'static str> {
+    Rule::ALL.iter().map(|r| r.name()).collect()
+}
+
+/// Parses a comma-separated rule list; `Err` carries the first unknown
+/// name.
+fn parse_rule_list(list: &str) -> Result<Vec<Rule>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            Rule::ALL
+                .iter()
+                .copied()
+                .find(|r| r.name() == p)
+                .ok_or_else(|| p.to_string())
+        })
+        .collect()
 }
 
 /// Renders the findings as a JSON array with a stable field order:

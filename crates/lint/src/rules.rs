@@ -54,6 +54,24 @@ pub enum Rule {
     /// `JoinHandle::join`, `Condvar::wait`, `sleep`, channel `recv`)
     /// performed while a lock guard is live. See [`crate::locks`].
     HeldLockBlocking,
+    /// A field of a checkpointed struct (declared with
+    /// `// crp-lint: checkpoint(<Struct>, <ser>, <de>)`) that the
+    /// serialize or restore function never mentions, directly or through
+    /// helpers: the checkpoint silently drops state. See
+    /// [`crate::coverage`].
+    StateCoverage,
+    /// An order-sensitive `f64` reduction (`.sum()`, `.product()`,
+    /// `.fold(..)`) whose iteration source is hash-ordered or which runs
+    /// in parallel-reachable flow code: summation order changes the
+    /// bits. Route it through `crp_geom::sum_ordered` (a named
+    /// fixed-order reduction) or annotate why the source order is
+    /// pinned. See [`crate::dataflow`].
+    FloatOrder,
+    /// A read of an epoch-protected field (declared with
+    /// `// crp-lint: epoch-protected(<field>[, <validator>])`) that is
+    /// not dominated by the validation call in the same function or in
+    /// every caller. See [`crate::dataflow`].
+    EpochProtocol,
     /// A malformed or unknown `crp-lint:` annotation.
     BadSuppression,
 }
@@ -70,6 +88,9 @@ impl Rule {
             Rule::CastTruncation => "cast-truncation",
             Rule::LockOrder => "lock-order",
             Rule::HeldLockBlocking => "held-lock-blocking",
+            Rule::StateCoverage => "state-coverage",
+            Rule::FloatOrder => "float-order",
+            Rule::EpochProtocol => "epoch-protocol",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -85,9 +106,27 @@ impl Rule {
             "cast-truncation" => Some(Rule::CastTruncation),
             "lock-order" => Some(Rule::LockOrder),
             "held-lock-blocking" => Some(Rule::HeldLockBlocking),
+            "state-coverage" => Some(Rule::StateCoverage),
+            "float-order" => Some(Rule::FloatOrder),
+            "epoch-protocol" => Some(Rule::EpochProtocol),
             _ => None,
         }
     }
+
+    /// Every rule, in report order (also the `--rules` help list).
+    pub const ALL: &'static [Rule] = &[
+        Rule::NondetIter,
+        Rule::AtomicsJustified,
+        Rule::NoPanicPaths,
+        Rule::ForbidUnsafe,
+        Rule::CastTruncation,
+        Rule::LockOrder,
+        Rule::HeldLockBlocking,
+        Rule::StateCoverage,
+        Rule::FloatOrder,
+        Rule::EpochProtocol,
+        Rule::BadSuppression,
+    ];
 }
 
 /// One finding.
@@ -180,12 +219,43 @@ pub fn lint_file(file: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
 // Annotations
 // ---------------------------------------------------------------------
 
-/// Parsed `crp-lint: allow(...)` and `atomics(...)` comments.
+/// A `// crp-lint: checkpoint(<Struct>, <ser>, <de>)` declaration: the
+/// named struct's fields must all be reachable from the serialize and
+/// restore functions (see [`crate::coverage`]).
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointDirective {
+    /// Comment line of the directive.
+    pub line: u32,
+    /// The checkpointed struct's name.
+    pub strukt: String,
+    /// The serializing function's name.
+    pub ser: String,
+    /// The restoring function's name.
+    pub de: String,
+}
+
+/// A `// crp-lint: epoch-protected(<field>[, <validator>])` declaration:
+/// reads of `.field` in flow code must be dominated by a call to the
+/// validator (default `region_touched_since`).
+#[derive(Debug, Clone)]
+pub(crate) struct EpochDirective {
+    /// The protected field's name.
+    pub field: String,
+    /// The validating function whose call protects a read.
+    pub validator: String,
+}
+
+/// Parsed `crp-lint: allow(...)` / `checkpoint(...)` /
+/// `epoch-protected(...)` and `atomics(...)` comments.
 pub(crate) struct Annotations {
     /// `(rule, comment line)` of each well-formed suppression.
     allows: Vec<(Rule, u32)>,
     /// Lines carrying a well-formed `atomics(<protocol>): <why>` note.
     atomics: Vec<u32>,
+    /// Well-formed `checkpoint(..)` coverage declarations.
+    pub(crate) checkpoints: Vec<CheckpointDirective>,
+    /// Well-formed `epoch-protected(..)` declarations.
+    pub(crate) epochs: Vec<EpochDirective>,
     /// `(line, message)` of malformed annotations.
     malformed: Vec<(u32, String)>,
 }
@@ -195,6 +265,8 @@ impl Annotations {
         let mut a = Annotations {
             allows: Vec::new(),
             atomics: Vec::new(),
+            checkpoints: Vec::new(),
+            epochs: Vec::new(),
             malformed: Vec::new(),
         };
         for t in tokens.iter().filter(|t| t.is_comment()) {
@@ -204,7 +276,7 @@ impl Annotations {
                 continue;
             }
             if let Some(rest) = find_after(&t.text, "crp-lint:") {
-                a.parse_allow(rest.trim(), t.line);
+                a.parse_directive(rest.trim(), t.line);
             } else if let Some(rest) = find_after(&t.text, "atomics(") {
                 a.parse_atomics(rest, t.line);
             }
@@ -212,14 +284,75 @@ impl Annotations {
         a
     }
 
-    fn parse_allow(&mut self, body: &str, line: u32) {
-        let Some(rest) = body.strip_prefix("allow(") else {
+    fn parse_directive(&mut self, body: &str, line: u32) {
+        if let Some(rest) = body.strip_prefix("allow(") {
+            self.parse_allow(rest, line);
+        } else if let Some(rest) = body.strip_prefix("checkpoint(") {
+            self.parse_checkpoint(rest, line);
+        } else if let Some(rest) = body.strip_prefix("epoch-protected(") {
+            self.parse_epoch(rest, line);
+        } else {
             self.malformed.push((
                 line,
-                "malformed annotation: expected `crp-lint: allow(<rule>, <reason>)`".to_string(),
+                "malformed annotation: expected `crp-lint: allow(<rule>, <reason>)`, \
+                 `checkpoint(<Struct>, <ser>, <de>)`, or \
+                 `epoch-protected(<field>[, <validator>])`"
+                    .to_string(),
             ));
-            return;
+        }
+    }
+
+    /// The comma-separated identifiers inside a directive's parentheses,
+    /// or `None` when the `)` is missing or any part is not a plain
+    /// identifier.
+    fn directive_idents(rest: &str) -> Option<Vec<String>> {
+        let (inner, _) = rest.split_once(')')?;
+        let parts: Vec<String> = inner.split(',').map(|p| p.trim().to_string()).collect();
+        let ident_ok = |s: &str| {
+            !s.is_empty()
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !s.starts_with(|c: char| c.is_ascii_digit())
         };
+        parts.iter().all(|p| ident_ok(p)).then_some(parts)
+    }
+
+    fn parse_checkpoint(&mut self, rest: &str, line: u32) {
+        match Self::directive_idents(rest).as_deref() {
+            Some([strukt, ser, de]) => self.checkpoints.push(CheckpointDirective {
+                line,
+                strukt: strukt.clone(),
+                ser: ser.clone(),
+                de: de.clone(),
+            }),
+            _ => self.malformed.push((
+                line,
+                "malformed annotation: expected \
+                 `crp-lint: checkpoint(<Struct>, <ser_fn>, <de_fn>)`"
+                    .to_string(),
+            )),
+        }
+    }
+
+    fn parse_epoch(&mut self, rest: &str, line: u32) {
+        match Self::directive_idents(rest).as_deref() {
+            Some([field]) => self.epochs.push(EpochDirective {
+                field: field.clone(),
+                validator: "region_touched_since".to_string(),
+            }),
+            Some([field, validator]) => self.epochs.push(EpochDirective {
+                field: field.clone(),
+                validator: validator.clone(),
+            }),
+            _ => self.malformed.push((
+                line,
+                "malformed annotation: expected \
+                 `crp-lint: epoch-protected(<field>[, <validator>])`"
+                    .to_string(),
+            )),
+        }
+    }
+
+    fn parse_allow(&mut self, rest: &str, line: u32) {
         // A long reason may run past the line (and thus lack the `)`);
         // take what is there.
         let inner = rest.split_once(')').map_or(rest, |(head, _)| head);
@@ -453,7 +586,7 @@ const TYPE_WRAPPERS: &[&str] = &["Option", "mut", "dyn"];
 /// annotations or `= HashMap::new()` initializers) directly to a
 /// hash-ordered collection. Wrapped types (`Vec<Mutex<HashMap<..>>>`)
 /// are *not* recorded: iterating the wrapper is order-safe.
-fn hash_typed_names(code: &[&Token]) -> Vec<String> {
+pub(crate) fn hash_typed_names(code: &[&Token]) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..code.len() {
         if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {

@@ -1,0 +1,36 @@
+//! `epoch-protocol` failing fixture: reads of the protected field that
+//! no validation dominates.
+
+/// The cache entry; `price` is only valid while the region epoch holds.
+// crp-lint: epoch-protected(price)
+struct Entry {
+    epoch: u64,
+    price: f64,
+}
+
+/// Reads the price with no validation anywhere on the path.
+fn peek(e: &Entry) -> f64 {
+    e.price
+}
+
+/// Even a comparison consumes a possibly-stale value.
+fn is_free(e: &Entry) -> bool {
+    e.price == 0.0
+}
+
+/// One caller validates, the other does not: the read in `leaf` is not
+/// dominated by a validation on every path.
+fn leaf(e: &Entry) -> f64 {
+    e.price
+}
+
+fn checked(grid: &Grid, e: &Entry) -> f64 {
+    if grid.region_touched_since(e.epoch) {
+        return 0.0;
+    }
+    leaf(e)
+}
+
+fn unchecked(e: &Entry) -> f64 {
+    leaf(e)
+}

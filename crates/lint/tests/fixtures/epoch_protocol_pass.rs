@@ -1,0 +1,46 @@
+//! `epoch-protocol` passing fixture: validated reads (directly or
+//! through every caller), plain writes, same-named method calls, and a
+//! justified suppression must all stay silent.
+
+/// The cache entry; `price` is only valid while the region epoch holds.
+// crp-lint: epoch-protected(price)
+struct Entry {
+    epoch: u64,
+    price: f64,
+}
+
+/// Validates in the same function before the read.
+fn lookup(grid: &Grid, e: &Entry) -> Option<f64> {
+    if grid.region_touched_since(e.epoch) {
+        return None;
+    }
+    Some(e.price)
+}
+
+/// A helper whose only caller validates: protected through the graph.
+fn raw(e: &Entry) -> f64 {
+    e.price
+}
+
+fn fetch(grid: &Grid, e: &Entry) -> f64 {
+    if grid.region_touched_since(e.epoch) {
+        return f64::NAN;
+    }
+    raw(e)
+}
+
+/// A plain write stores a fresh value; it is not a stale read.
+fn set(e: &mut Entry, p: f64) {
+    e.price = p;
+}
+
+/// `.price(..)` is a method call on some other type, not a field read.
+fn method_named_price(q: &Quote) -> f64 {
+    q.price()
+}
+
+/// A read whose staleness is acceptable, with its reason on record.
+fn debug_line(e: &Entry) -> String {
+    // crp-lint: allow(epoch-protocol, diagnostic dump; the value is printed and never trusted)
+    format!("price={}", e.price)
+}

@@ -1,0 +1,31 @@
+//! `float-order` failing fixture: every site is an order-sensitive f64
+//! reduction (hash-ordered source, worker-thread execution, or shared
+//! cross-worker accumulation) the rule must flag.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Site 1: `.sum()` over a hash-ordered binding with an f64 turbofish.
+fn congestion_total(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().copied().sum::<f64>()
+}
+
+/// Site 2: `.fold(..)` over a hash-ordered binding with an f64 seed.
+fn folded_total(prices: &HashMap<u32, f64>) -> f64 {
+    prices.values().fold(0.0, |acc, &p| acc + p)
+}
+
+/// Site 3: a helper reachable only from a worker callback — its `.sum()`
+/// runs on worker threads even though nothing here looks parallel.
+fn price_of(costs: &[f64]) -> f64 {
+    costs.iter().copied().sum()
+}
+
+/// Sites 4 and 5: a reduction and a shared `+=` textually inside the
+/// `run_indexed` argument list.
+fn drive(costs: &[f64], total: &Mutex<f64>) {
+    run_indexed(8, costs.len(), || (), |_w, i| {
+        let local: f64 = costs[..i].iter().copied().sum();
+        *total.lock().unwrap() += price_of(costs) + local;
+    });
+}

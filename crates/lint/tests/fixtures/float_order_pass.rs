@@ -1,0 +1,48 @@
+//! `float-order` passing fixture: ordered sources, integer reductions,
+//! the sort-then-sum and merge-by-index fix idioms, and justified
+//! suppressions must all stay silent.
+
+use crp_geom::sum_ordered;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// A slice iterates in index order: serial f64 sums over it are fine.
+fn serial(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum()
+}
+
+/// Integer addition commutes bitwise; the turbofish proves the type.
+fn count(counts: &HashMap<u32, u64>) -> u64 {
+    counts.values().copied().sum::<u64>()
+}
+
+/// BTreeMap iteration is key-ordered, not hash-ordered.
+fn btree_total(ordered: &BTreeMap<u32, f64>) -> f64 {
+    ordered.values().copied().sum()
+}
+
+/// The fix idiom: pin the order first, reduce second. The reduction
+/// statement no longer mentions the hash-ordered binding.
+fn sorted_total(by_id: &HashMap<u32, f64>) -> f64 {
+    let mut v: Vec<f64> = by_id.values().copied().collect();
+    v.sort_by(f64::total_cmp);
+    v.iter().copied().sum::<f64>()
+}
+
+/// A deliberately hash-ordered reduction with its reason on record.
+fn annotated(weights: &HashMap<u32, f64>) -> f64 {
+    // crp-lint: allow(float-order, display-only estimate; never feeds a flow decision)
+    weights.values().copied().sum::<f64>()
+}
+
+/// The parallel fix idiom: each worker accumulates into its own slot,
+/// and the slots are merged in index order afterwards.
+fn merged(costs: &[f64], hits: &Mutex<u64>) -> f64 {
+    let mut partial = vec![0.0; 8];
+    run_indexed(8, costs.len(), || (), |w, i| {
+        partial[w] += costs[i];
+        // crp-lint: allow(float-order, integral hit counter; order cannot change the total)
+        *hits.lock().unwrap() += 1;
+    });
+    sum_ordered(partial)
+}

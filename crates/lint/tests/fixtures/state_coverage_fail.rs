@@ -1,0 +1,31 @@
+//! `state-coverage` failing fixture: the codec drops one field on the
+//! way out, another in both directions, and a second directive names a
+//! restorer that no longer exists.
+
+/// Resumable state. `epoch` never reaches the wire; `rounds` neither
+/// leaves nor comes back.
+// crp-lint: checkpoint(FlowState, ser, de)
+struct FlowState {
+    seed: u64,
+    epoch: u64,
+    rounds: u64,
+}
+
+fn ser(s: &FlowState) -> String {
+    format!("{}", s.seed)
+}
+
+fn de(text: &str) -> FlowState {
+    let mut s = FlowState::default();
+    s.seed = num(text, 0);
+    s.epoch = num(text, 1);
+    s
+}
+
+fn num(text: &str, i: usize) -> u64 {
+    text.split(' ').nth(i).and_then(|w| w.parse().ok()).unwrap_or(0)
+}
+
+/// A directive that drifted: its restorer was renamed away.
+// crp-lint: checkpoint(FlowState, ser, gone_restore)
+fn unrelated() {}

@@ -19,6 +19,17 @@ fn lock_fixture(name: &str) -> Vec<crp_lint::Diagnostic> {
     analyze_sources(&[(name.to_string(), read_fixture(name))])
 }
 
+/// Runs the dataflow rules (float-order, epoch-protocol) over one
+/// fixture, placed on a flow path so the rules apply.
+fn dataflow_fixture(name: &str) -> Vec<crp_lint::Diagnostic> {
+    crp_lint::dataflow::analyze(&[(format!("crates/core/src/{name}"), read_fixture(name))])
+}
+
+/// Runs the state-coverage rule over one fixture.
+fn coverage_fixture(name: &str) -> Vec<crp_lint::Diagnostic> {
+    crp_lint::coverage::analyze(&[(format!("crates/core/src/{name}"), read_fixture(name))])
+}
+
 const FLOW: FileScope = FileScope {
     flow: true,
     crate_root: false,
@@ -192,6 +203,113 @@ fn held_lock_blocking_fires_on_io_join_and_sleep() {
 fn held_lock_blocking_passes_restructured_and_justified_sites() {
     let d = lock_fixture("held_block_pass.rs");
     assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn float_order_fires_on_hash_parallel_and_shared_sites() {
+    let d = dataflow_fixture("float_order_fail.rs");
+    assert!(
+        d.iter().all(|x| x.rule == Rule::FloatOrder),
+        "unexpected rules: {d:?}"
+    );
+    // Hash-ordered sum, hash-ordered fold, worker-reachable helper sum,
+    // in-callback sum, shared `+=`.
+    assert_eq!(d.len(), 5, "wrong sites: {d:?}");
+    assert!(
+        d.iter()
+            .any(|x| x.message.contains("hash-ordered binding `weights`")),
+        "{d:?}"
+    );
+    assert!(
+        d.iter().any(|x| x.message.contains("worker threads")),
+        "{d:?}"
+    );
+    assert!(
+        d.iter().any(|x| x.message.contains("shared accumulator")),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn float_order_passes_ordered_integer_and_annotated_sites() {
+    let d = dataflow_fixture("float_order_pass.rs");
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn float_order_is_scoped_to_flow_code() {
+    let d = crp_lint::dataflow::analyze(&[(
+        "tools/float_order_fail.rs".to_string(),
+        read_fixture("float_order_fail.rs"),
+    )]);
+    assert!(d.is_empty(), "non-flow files must not be float-checked");
+}
+
+#[test]
+fn epoch_protocol_fires_on_unvalidated_and_partially_validated_reads() {
+    let d = dataflow_fixture("epoch_protocol_fail.rs");
+    assert!(
+        d.iter().all(|x| x.rule == Rule::EpochProtocol),
+        "unexpected rules: {d:?}"
+    );
+    // `peek`, the `==` comparison in `is_free`, and `leaf` (one of its
+    // two callers never validates).
+    assert_eq!(d.len(), 3, "wrong sites: {d:?}");
+}
+
+#[test]
+fn epoch_protocol_passes_validated_callers_writes_and_annotations() {
+    let d = dataflow_fixture("epoch_protocol_pass.rs");
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+#[test]
+fn state_coverage_fires_on_dropped_fields_and_stale_directives() {
+    let d = coverage_fixture("state_coverage_fail.rs");
+    assert!(
+        d.iter().all(|x| x.rule == Rule::StateCoverage),
+        "unexpected rules: {d:?}"
+    );
+    // `epoch` missing from the serializer, `rounds` missing from both
+    // directions, and the directive naming a nonexistent restorer.
+    assert_eq!(d.len(), 4, "wrong sites: {d:?}");
+    assert!(
+        d.iter().filter(|x| x.message.contains("`rounds`")).count() == 2,
+        "{d:?}"
+    );
+    assert!(
+        d.iter().any(|x| x.message.contains("gone_restore")),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn state_coverage_passes_helper_coverage_and_annotated_fields() {
+    let d = coverage_fixture("state_coverage_pass.rs");
+    assert!(d.is_empty(), "false positives: {d:?}");
+}
+
+/// The drift scenario `state-coverage` exists for: a field added to the
+/// struct without touching the codec must be named in both directions,
+/// while the unmodified fixture stays silent.
+#[test]
+fn state_coverage_catches_a_seeded_phantom_field() {
+    let src = read_fixture("state_coverage_pass.rs");
+    let seeded = src.replacen(
+        "struct FlowState {",
+        "struct FlowState {\n    phantom_knob: u64,",
+        1,
+    );
+    assert_ne!(seeded, src, "seeding the phantom field failed");
+    let d = crp_lint::coverage::analyze(&[(
+        "crates/core/src/state_coverage_pass.rs".to_string(),
+        seeded,
+    )]);
+    assert_eq!(d.len(), 2, "serializer + restorer direction: {d:?}");
+    assert!(
+        d.iter().all(|x| x.message.contains("`phantom_knob`")),
+        "{d:?}"
+    );
 }
 
 /// The gate the CI job enforces: the workspace's own tree is clean.

@@ -10,7 +10,7 @@
 //!   hypothetical pin placement without touching the grid.
 
 use crate::route::{NetRoute, RouteSeg, ViaStack};
-use crp_geom::{Axis, Point};
+use crp_geom::{sum_ordered, Axis, Point};
 use crp_grid::{Edge, RouteGrid};
 use crp_rsmt::rsmt;
 use std::collections::BTreeMap;
@@ -118,13 +118,13 @@ impl<'a> CostCtx<'a> {
     /// gcells).
     fn run_cost_h(&self, y: u16, x0: u16, x1: u16) -> f64 {
         let (lo, hi) = (x0.min(x1), x0.max(x1));
-        (lo..hi).map(|x| self.cross_cost(Axis::X, x, y)).sum()
+        sum_ordered((lo..hi).map(|x| self.cross_cost(Axis::X, x, y)))
     }
 
     /// Cost of a vertical 2D run at column `x` from `y0` to `y1`.
     fn run_cost_v(&self, x: u16, y0: u16, y1: u16) -> f64 {
         let (lo, hi) = (y0.min(y1), y0.max(y1));
-        (lo..hi).map(|y| self.cross_cost(Axis::Y, x, y)).sum()
+        sum_ordered((lo..hi).map(|y| self.cross_cost(Axis::Y, x, y)))
     }
 }
 
@@ -212,7 +212,7 @@ fn assign_layer(ctx: &CostCtx<'_>, seg: Seg2) -> RouteSeg {
             continue;
         }
         let proto = RouteSeg::new(l, seg.a, seg.b);
-        let cost: f64 = proto.edges().map(|e| ctx.edge_cost(e)).sum::<f64>()
+        let cost: f64 = sum_ordered(proto.edges().map(|e| ctx.edge_cost(e)))
             + ctx.layer_bias * f64::from(l) * f64::from(proto.len().max(1));
         if cost < best_cost {
             best_cost = cost;
@@ -340,14 +340,10 @@ pub fn price_net_discounted(
 ) -> f64 {
     let ctx = CostCtx::with_discount(grid, discount);
     let route = route_with_ctx(&ctx, pins);
-    route
-        .edges()
-        .iter()
-        .map(|&e| match discount.get(&e) {
-            Some(&delta) => grid.cost_adjusted(e, delta),
-            None => grid.cost(e),
-        })
-        .sum()
+    sum_ordered(route.edges().iter().map(|&e| match discount.get(&e) {
+        Some(&delta) => grid.cost_adjusted(e, delta),
+        None => grid.cost(e),
+    }))
 }
 
 /// Routes with the same demand discount as [`price_net_discounted`] and

@@ -1,5 +1,6 @@
 //! Route representation: segments, via stacks, and the routing state.
 
+use crp_geom::sum_ordered;
 use crp_grid::{Edge, RouteGrid};
 use crp_netlist::{Design, NetId};
 use serde::{Deserialize, Serialize};
@@ -158,7 +159,7 @@ impl NetRoute {
     /// The route cost `cost_n^r` — the sum of Eq. 10 edge costs.
     #[must_use]
     pub fn cost(&self, grid: &RouteGrid) -> f64 {
-        self.edges().iter().map(|&e| grid.cost(e)).sum()
+        sum_ordered(self.edges().iter().map(|&e| grid.cost(e)))
     }
 
     /// Commits the route's usage to the grid.
@@ -328,7 +329,7 @@ impl Routing {
     /// Total Eq. 1 objective: Σ cost of all routes under the current grid.
     #[must_use]
     pub fn total_cost(&self, grid: &RouteGrid) -> f64 {
-        self.routes.iter().map(|r| r.cost(grid)).sum()
+        sum_ordered(self.routes.iter().map(|r| r.cost(grid)))
     }
 
     /// Whether every multi-pin net's route connects its pins.

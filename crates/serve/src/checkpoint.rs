@@ -150,6 +150,9 @@ impl Checkpoint {
     }
 
     /// Serializes the checkpoint.
+    // crp-lint: checkpoint(Checkpoint, to_json, from_json)
+    // crp-lint: checkpoint(SavedCell, to_json, from_json)
+    // crp-lint: checkpoint(FlowState, to_json, from_json)
     #[must_use]
     pub fn to_json(&self) -> Json {
         let cells = self
@@ -348,6 +351,7 @@ impl Checkpoint {
 }
 
 /// Serializes an [`IterationReport`].
+// crp-lint: checkpoint(IterationReport, report_to_json, report_from_json)
 #[must_use]
 pub fn report_to_json(r: &IterationReport) -> Json {
     Json::obj(vec![
@@ -378,6 +382,7 @@ pub fn report_from_json(v: &Json) -> Result<IterationReport, ServeError> {
     })
 }
 
+// crp-lint: checkpoint(StageTimers, timers_to_json, timers_from_json)
 fn timers_to_json(t: &StageTimers) -> Json {
     Json::obj(vec![
         ("label_ns", dur(t.label)),

@@ -115,6 +115,8 @@ fn check_level_from(s: &str) -> Option<CheckLevel> {
 
 impl JobSpec {
     /// Serializes the spec (wire format and on-disk `spec.json`).
+    // crp-lint: checkpoint(JobSpec, to_json, from_json)
+    // crp-lint: checkpoint(CrpConfig, to_json, from_json)
     #[must_use]
     pub fn to_json(&self) -> Json {
         let workload = match &self.workload {
@@ -137,6 +139,10 @@ impl JobSpec {
             ("congestion_aware", Json::Bool(c.congestion_aware)),
             ("prioritize", Json::Bool(c.prioritize)),
             ("move_margin", Json::Float(c.move_margin)),
+            ("n_site", Json::Int(i128::from(c.n_site))),
+            ("n_row", Json::Int(i128::from(c.n_row))),
+            ("max_window_cells", Json::Int(c.max_window_cells as i128)),
+            ("ilp_node_limit", Json::Int(i128::from(c.ilp_node_limit))),
         ]);
         Json::obj(vec![
             ("tenant", Json::str(&self.tenant)),
@@ -266,6 +272,30 @@ impl JobSpec {
                 }
                 config.move_margin = m;
             }
+            if let Some(n) = o.get("n_site").and_then(Json::as_i64) {
+                if n <= 0 {
+                    return Err(ServeError::new("`n_site` must be positive"));
+                }
+                config.n_site = n;
+            }
+            if let Some(n) = o.get("n_row").and_then(Json::as_i64) {
+                if n <= 0 {
+                    return Err(ServeError::new("`n_row` must be positive"));
+                }
+                config.n_row = n;
+            }
+            if let Some(n) = o.get("max_window_cells").and_then(Json::as_usize) {
+                if n == 0 {
+                    return Err(ServeError::new("`max_window_cells` must be positive"));
+                }
+                config.max_window_cells = n;
+            }
+            if let Some(n) = o.get("ilp_node_limit").and_then(Json::as_u64) {
+                if n == 0 {
+                    return Err(ServeError::new("`ilp_node_limit` must be positive"));
+                }
+                config.ilp_node_limit = n;
+            }
         }
 
         Ok(JobSpec {
@@ -356,6 +386,10 @@ mod tests {
         let mut spec = JobSpec::default();
         spec.config.seed = u64::MAX;
         spec.config.check_level = CheckLevel::Cheap;
+        spec.config.n_site = 33;
+        spec.config.n_row = 9;
+        spec.config.max_window_cells = 5;
+        spec.config.ilp_node_limit = 7;
         spec.priority = Lane::High;
         spec.threads = 3;
         let json = spec.to_json().to_string();
