@@ -1,0 +1,81 @@
+//! Throughput benchmark for the `crp-gp` front-end: electrostatic solver
+//! iterations per second and Abacus legalization cells per second on the
+//! largest netlist-only profile. Writes `BENCH_gp.json`-shaped output.
+//!
+//! ```text
+//! cargo run -p crp-bench --bin gp_bench --release
+//! ```
+//!
+//! Set `CRP_SCALE` to change the benchmark scale (default 10: ~2000
+//! cells, large enough that per-iteration cost is dominated by the
+//! density/gradient kernels rather than setup).
+
+use crp_gp::{legalize_abacus, strip_placement, GlobalPlacer, GpConfig};
+use crp_workload::netlist_only_profiles;
+use std::time::Instant;
+
+fn main() {
+    let scale = std::env::var("CRP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v: &f64| v > 0.0)
+        .unwrap_or(10.0);
+    let profile = netlist_only_profiles()
+        .into_iter()
+        .max_by_key(|p| p.cells)
+        .expect("netlist-only profiles exist");
+    let p = profile.scaled(scale);
+    let mut design = p.generate();
+    strip_placement(&mut design);
+    let cells = design.num_cells();
+
+    let cfg = GpConfig {
+        iterations: 64,
+        threads: 2,
+        ..GpConfig::default()
+    };
+    let mut placer = GlobalPlacer::new(&design, cfg.clone());
+    let t = Instant::now();
+    let stats = placer.run();
+    let solve_s = t.elapsed().as_secs_f64();
+    let iters = stats.len();
+    let overflow = stats.last().map_or(f64::NAN, |s| s.overflow);
+
+    let targets = placer.positions();
+    // Median-of-several legalization timings: a single run on ~2k cells
+    // is microseconds-scale and too noisy to report.
+    let reps = 9;
+    let mut times = Vec::with_capacity(reps);
+    let mut stats_cells = 0;
+    for _ in 0..reps {
+        let mut d = design.clone();
+        let t = Instant::now();
+        let s = legalize_abacus(&mut d, &targets).expect("legalize");
+        times.push(t.elapsed().as_secs_f64());
+        stats_cells = s.cells;
+    }
+    times.sort_by(f64::total_cmp);
+    let legal_s = times[reps / 2];
+
+    println!(
+        concat!(
+            "{{\"bench\":\"gp_front_end\",\"profile\":\"{}\",\"scale\":{},",
+            "\"cells\":{},\"nets\":{},\"threads\":{},",
+            "\"solver_iters\":{},\"solver_s\":{:.6},\"solver_iters_per_s\":{:.1},",
+            "\"final_overflow\":{:.6},",
+            "\"legalized_cells\":{},\"legalize_s\":{:.6},\"legalize_cells_per_s\":{:.0}}}"
+        ),
+        p.name,
+        scale,
+        cells,
+        design.num_nets(),
+        cfg.threads,
+        iters,
+        solve_s,
+        iters as f64 / solve_s,
+        overflow,
+        stats_cells,
+        legal_s,
+        stats_cells as f64 / legal_s,
+    );
+}

@@ -162,6 +162,71 @@ impl FlowRunner {
         }
     }
 
+    /// The generated design re-seeded by the `crp-gp` front-end: the
+    /// generator's placement is stripped and rebuilt from the netlist
+    /// alone (electrostatic global placement + Abacus legalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the placer cannot legalize the profile — a workload
+    /// bug, not a recoverable flow outcome.
+    #[must_use]
+    pub fn gp_seeded_design(profile: &Profile, gp: &crp_gp::GpConfig) -> Design {
+        let mut design = profile.generate();
+        crp_gp::strip_placement(&mut design);
+        crp_gp::place(&mut design, gp)
+            .unwrap_or_else(|e| panic!("crp-gp failed on {}: {e}", profile.name));
+        design
+    }
+
+    /// Baseline (GR + DR, no movement) on the `crp-gp` analytical seed.
+    #[must_use]
+    pub fn run_baseline_from_gp(&self, profile: &Profile, gp: &crp_gp::GpConfig) -> FlowResult {
+        let design = Self::gp_seeded_design(profile, gp);
+        let (grid, _router, routing, gr_time) = self.global_route(&design);
+        let (detailed, score, dr_time) = self.detail_route(&design, &grid, &routing);
+        FlowResult {
+            flow: "gp_baseline".into(),
+            benchmark: profile.name.clone(),
+            score,
+            detailed,
+            outcome: FlowOutcome::Completed,
+            gr_time,
+            opt_time: Duration::ZERO,
+            dr_time,
+            stages: None,
+        }
+    }
+
+    /// CR&P with `k` iterations on the `crp-gp` analytical seed — the
+    /// netlist-only cold start (GP → Abacus → GR → CR&P → DR).
+    #[must_use]
+    pub fn run_crp_from_gp(
+        &self,
+        profile: &Profile,
+        k: usize,
+        gp: &crp_gp::GpConfig,
+    ) -> FlowResult {
+        let mut design = Self::gp_seeded_design(profile, gp);
+        let (mut grid, mut router, mut routing, gr_time) = self.global_route(&design);
+        let t = Instant::now();
+        let mut crp = Crp::new(self.crp);
+        let _reports = crp.run(k, &mut design, &mut grid, &mut router, &mut routing);
+        let opt_time = t.elapsed();
+        let (detailed, score, dr_time) = self.detail_route(&design, &grid, &routing);
+        FlowResult {
+            flow: format!("gp_crp_k{k}"),
+            benchmark: profile.name.clone(),
+            score,
+            detailed,
+            outcome: FlowOutcome::Completed,
+            gr_time,
+            opt_time,
+            dr_time,
+            stages: Some(crp.timers),
+        }
+    }
+
     /// The median-move state of the art \[18\] between GR and DR.
     #[must_use]
     pub fn run_median(&self, profile: &Profile) -> FlowResult {

@@ -76,6 +76,7 @@ pub use flow::{Crp, FlowState, IterationReport};
 pub use label::label_critical_cells;
 pub use legalizer::Legalizer;
 pub use median_move::{MedianMoveOutcome, MedianMover, MedianMoverConfig};
+pub use parallel::run_indexed;
 pub use price_cache::{PriceCache, PriceRegion};
 pub use replay_rng::ReplayRng;
 pub use select::select_candidates;

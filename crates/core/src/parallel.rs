@@ -20,7 +20,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `init` builds one scratch value per worker (reusable buffers, router
 /// state); `work` receives the worker's scratch and the claimed index.
 /// Items must be independent: `work` cannot observe other items' results.
-pub(crate) fn run_indexed<T, S, I, F>(n: usize, threads: usize, init: I, work: F) -> Vec<T>
+///
+/// Public so sibling crates with the same determinism contract (the
+/// `crp-gp` placer's gradient and transform loops) dispatch through the
+/// one audited cursor instead of growing private clones of it.
+pub fn run_indexed<T, S, I, F>(n: usize, threads: usize, init: I, work: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,

@@ -1,0 +1,41 @@
+//! Error type for the placement front-end.
+
+use crp_netlist::CellId;
+
+/// Why a global-placement or legalization run could not produce a legal
+/// result. Everything here is a property of the *input* (netlist,
+/// floorplan, resume snapshot) — the solver itself has no failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpError {
+    /// The design has no placement rows, so there is nowhere to legalize.
+    NoRows,
+    /// A movable cell is taller than one row. Multi-row cells are out of
+    /// scope for the Abacus pass; route such designs through the windowed
+    /// ILP legalizer in `crp-core` instead.
+    MixedHeight(CellId),
+    /// A movable cell is wider than every free row segment, so no legal
+    /// position exists for it.
+    NoSpace(CellId),
+    /// A resume snapshot does not match the design or config it is being
+    /// applied to (wrong vector lengths, out-of-range iteration, ...).
+    BadState(String),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::NoRows => write!(f, "design has no placement rows"),
+            GpError::MixedHeight(c) => write!(
+                f,
+                "cell {c} is taller than one row; multi-row legalization \
+                 is deferred to the ILP legalizer"
+            ),
+            GpError::NoSpace(c) => {
+                write!(f, "no free row segment can hold cell {c}")
+            }
+            GpError::BadState(msg) => write!(f, "bad resume state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}

@@ -1,0 +1,402 @@
+//! Abacus row legalization: cluster merging with closed-form optimal
+//! positions.
+//!
+//! Cells are processed in ascending desired-x order and appended to row
+//! *segments* (maximal blockage-free site intervals). Within a segment,
+//! abutting cells form clusters; a cluster holding cells with desired
+//! positions `x'_i`, weights `e_i` and predecessor-width offsets `d_i`
+//! minimizes `sum_i e_i (x + d_i - x'_i)^2` at the closed-form optimum
+//! `x = q / e` with `e = sum e_i`, `q = sum e_i (x'_i - d_i)`, clamped
+//! into the segment. Appending a cell can make its cluster overlap the
+//! previous one; overlapping clusters merge (the accumulators are
+//! additive) and the check repeats — the *clustering invariant* is that
+//! after each insertion every cluster sits at its clamped optimum and no
+//! two clusters overlap, so emitting cells at cumulative offsets inside
+//! each cluster yields a legal, overlap-free row.
+//!
+//! Everything runs in integer site units (positions become integers by
+//! rounding each cluster start once, at emission — member offsets are
+//! integer widths, so cells stay site-aligned and abutting). Candidate
+//! rows are scanned outward from the desired y; the scan stops as soon
+//! as the vertical displacement alone exceeds the best full cost found,
+//! which keeps the search near-local without sacrificing determinism:
+//! every tie breaks toward the earlier row/segment in scan order.
+
+use crate::error::GpError;
+use crp_geom::{sum_ordered, Point};
+use crp_netlist::{CellId, Design};
+
+/// Summary of one legalization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbacusStats {
+    /// Cells legalized (== targets supplied).
+    pub cells: usize,
+    /// Free row segments the die decomposed into.
+    pub segments: usize,
+    /// Total Manhattan displacement from the desired centers, DBU.
+    pub total_disp: f64,
+    /// Largest single-cell Manhattan displacement, DBU.
+    pub max_disp: f64,
+}
+
+/// One Abacus cluster: `e`/`q` are the closed-form accumulators, `w` the
+/// total width in sites, `x` the clamped optimal start (f64 sites).
+#[derive(Debug, Clone, Copy)]
+struct Cluster {
+    e: f64,
+    q: f64,
+    w: i64,
+    x: f64,
+}
+
+/// A member cell as stored inside a segment, in insertion (= x) order.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    /// Index into the sorted target list.
+    target: usize,
+    /// Width in sites.
+    w: i64,
+    /// Last cluster the member belongs to is implicit: members partition
+    /// into clusters front-to-back by cumulative width.
+    cluster: usize,
+}
+
+/// A maximal blockage-free run of sites in one row.
+struct Segment {
+    row: usize,
+    /// First site (inclusive), relative to the row origin.
+    start: i64,
+    /// Site count of the segment.
+    len: i64,
+    /// Sites already committed.
+    used: i64,
+    clusters: Vec<Cluster>,
+    members: Vec<Member>,
+}
+
+impl Segment {
+    /// Appends a cell (`w` sites wide, desired start `x_d` in segment
+    /// coordinates) to a cluster stack, merging overlaps; returns the
+    /// resulting start of the *appended* cell.
+    fn place_on(stack: &mut Vec<Cluster>, len: i64, w: i64, x_d: f64, e: f64) -> f64 {
+        let touches_last = stack
+            .last()
+            .is_some_and(|last| last.x + last.w as f64 > x_d);
+        if touches_last {
+            // Goes into the last cluster at offset `last.w`.
+            let last = stack.len() - 1;
+            let c = &mut stack[last];
+            c.e += e;
+            c.q += e * (x_d - c.w as f64);
+            c.w += w;
+            c.x = (c.q / c.e).clamp(0.0, (len - c.w) as f64);
+        } else {
+            stack.push(Cluster {
+                e,
+                q: e * x_d,
+                w,
+                x: x_d.clamp(0.0, (len - w) as f64),
+            });
+        }
+        // Collapse while the new/updated tail overlaps its predecessor.
+        while stack.len() >= 2 {
+            let cur = stack[stack.len() - 1];
+            let pred = stack[stack.len() - 2];
+            if pred.x + pred.w as f64 <= cur.x {
+                break;
+            }
+            stack.pop();
+            let last = stack.len() - 1;
+            let p = &mut stack[last];
+            p.q += cur.q - cur.e * p.w as f64;
+            p.e += cur.e;
+            p.w += cur.w;
+            p.x = (p.q / p.e).clamp(0.0, (len - p.w) as f64);
+        }
+        // The appended cell is the tail of the tail cluster.
+        let tail = stack[stack.len() - 1];
+        tail.x + (tail.w - w) as f64
+    }
+
+    /// Cost-only trial: where would this cell land if appended now?
+    fn trial(&self, w: i64, x_d: f64) -> Option<f64> {
+        if self.used + w > self.len {
+            return None;
+        }
+        let mut stack = self.clusters.clone();
+        Some(Segment::place_on(&mut stack, self.len, w, x_d, 1.0))
+    }
+
+    /// Commits the cell the last [`trial`](Self::trial) evaluated.
+    fn commit(&mut self, target: usize, w: i64, x_d: f64) {
+        Segment::place_on(&mut self.clusters, self.len, w, x_d, 1.0);
+        self.members.push(Member {
+            target,
+            w,
+            cluster: self.clusters.len() - 1,
+        });
+        // Merges may have reassigned earlier members' clusters; rebuild
+        // the partition from widths (cluster widths partition members
+        // front to back).
+        let mut ci = 0;
+        let mut acc = 0;
+        for m in &mut self.members {
+            if acc >= self.clusters[ci].w {
+                acc = 0;
+                ci += 1;
+            }
+            m.cluster = ci;
+            acc += m.w;
+        }
+        self.used += w;
+    }
+}
+
+/// Legalizes `targets` (desired cell centers, DBU) onto the design's
+/// rows and moves the cells. Fixed cells are untouched obstacles;
+/// targets must be movable, single-row-height cells. On success every
+/// target cell sits site-aligned in a row segment with no overlaps.
+pub fn legalize_abacus(
+    design: &mut Design,
+    targets: &[(CellId, f64, f64)],
+) -> Result<AbacusStats, GpError> {
+    if design.rows.is_empty() {
+        return Err(GpError::NoRows);
+    }
+    let site = design.site;
+    let site_w = site.width as f64;
+    let site_h = site.height as f64;
+
+    // Validate targets and freeze their geometry.
+    let mut items: Vec<(CellId, f64, f64, i64)> = Vec::with_capacity(targets.len());
+    for &(cell, x, y) in targets {
+        if design.cell(cell).fixed {
+            return Err(GpError::BadState(format!(
+                "fixed cell {cell} in legalization targets"
+            )));
+        }
+        let mac = design.macro_of(cell);
+        if mac.height != site.height {
+            return Err(GpError::MixedHeight(cell));
+        }
+        let w_sites = mac.width_in_sites(site);
+        items.push((cell, x, y, w_sites));
+    }
+    // Abacus processing order: ascending desired x, ties by cell id.
+    items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    // Obstacles: blockages and fixed-cell footprints.
+    let mut obstacles: Vec<crp_geom::Rect> = design.blockages.clone();
+    let fixed_ids: Vec<CellId> = design
+        .cell_ids()
+        .filter(|&c| design.cell(c).fixed)
+        .collect();
+    for c in fixed_ids {
+        obstacles.push(design.cell_rect(c));
+    }
+
+    // Decompose each row into blockage-free segments.
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut row_segments: Vec<Vec<usize>> = vec![Vec::new(); design.rows.len()];
+    for (ri, row) in design.rows.iter().enumerate() {
+        let y0 = row.origin.y;
+        let y1 = y0 + site.height;
+        let sites = i64::from(row.num_sites);
+        let mut blocked: Vec<(i64, i64)> = Vec::new();
+        for ob in &obstacles {
+            if ob.lo.y < y1 && ob.hi.y > y0 {
+                let s0 = ((ob.lo.x - row.origin.x) as f64 / site_w).floor() as i64;
+                let s1 = ((ob.hi.x - row.origin.x) as f64 / site_w).ceil() as i64;
+                let s0 = s0.clamp(0, sites);
+                let s1 = s1.clamp(0, sites);
+                if s0 < s1 {
+                    blocked.push((s0, s1));
+                }
+            }
+        }
+        blocked.sort_unstable();
+        let mut cursor = 0;
+        let mut push_gap = |from: i64, to: i64| {
+            if to > from {
+                row_segments[ri].push(segments.len());
+                segments.push(Segment {
+                    row: ri,
+                    start: from,
+                    len: to - from,
+                    used: 0,
+                    clusters: Vec::new(),
+                    members: Vec::new(),
+                });
+            }
+        };
+        for (s0, s1) in blocked {
+            push_gap(cursor, s0.min(sites));
+            cursor = cursor.max(s1);
+        }
+        push_gap(cursor, sites);
+    }
+
+    // Candidate row order per cell: ascending |row center - desired y|.
+    let row_ys: Vec<f64> = design
+        .rows
+        .iter()
+        .map(|r| r.origin.y as f64 + site_h * 0.5)
+        .collect();
+
+    for (idx, &(cell, tx, ty, w_sites)) in items.iter().enumerate() {
+        let w_dbu = w_sites as f64 * site_w;
+        let mut order: Vec<usize> = (0..design.rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = (row_ys[a] - ty).abs();
+            let db = (row_ys[b] - ty).abs();
+            da.total_cmp(&db).then(a.cmp(&b))
+        });
+
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, seg, x_d)
+        for &ri in &order {
+            let dy = row_ys[ri] - ty;
+            if let Some((c, _, _)) = best {
+                // Rows are scanned outward: every later row costs at
+                // least dy^2 on its own.
+                if dy * dy >= c {
+                    break;
+                }
+            }
+            let row_x = design.rows[ri].origin.x as f64;
+            for &si in &row_segments[ri] {
+                let seg = &segments[si];
+                // Desired start in segment coordinates (sites, f64).
+                let x_d = (tx - w_dbu * 0.5 - row_x) / site_w - seg.start as f64;
+                let Some(got) = seg.trial(w_sites, x_d) else {
+                    continue;
+                };
+                let gx = row_x + (seg.start as f64 + got) * site_w + w_dbu * 0.5;
+                let dx = gx - tx;
+                let cost = dx * dx + dy * dy;
+                if best.is_none_or(|(c, _, _)| cost < c) {
+                    best = Some((cost, si, x_d));
+                }
+            }
+        }
+        let Some((_, si, x_d)) = best else {
+            return Err(GpError::NoSpace(cell));
+        };
+        segments[si].commit(idx, w_sites, x_d);
+    }
+
+    // Emit: round each cluster start once, stack members at integer
+    // offsets, and move the cells.
+    let mut disp: Vec<f64> = Vec::with_capacity(items.len());
+    for seg in &segments {
+        let row = design.rows[seg.row];
+        let mut mi = 0;
+        for (ci, cluster) in seg.clusters.iter().enumerate() {
+            let mut off = cluster.x.round().max(0.0) as i64;
+            off = off.min(seg.len - cluster.w).max(0);
+            while mi < seg.members.len() && seg.members[mi].cluster == ci {
+                let m = seg.members[mi];
+                let (cell, tx, ty, _) = items[m.target];
+                let x = row.origin.x + (seg.start + off) * site.width;
+                design.move_cell(cell, Point::new(x, row.origin.y), row.orient);
+                let cx = x as f64 + m.w as f64 * site_w * 0.5;
+                let cy = row.origin.y as f64 + site_h * 0.5;
+                disp.push((cx - tx).abs() + (cy - ty).abs());
+                off += m.w;
+                mi += 1;
+            }
+        }
+    }
+
+    let mut max_disp: f64 = 0.0;
+    for &d in &disp {
+        max_disp = max_disp.max(d);
+    }
+    Ok(AbacusStats {
+        cells: items.len(),
+        segments: segments.len(),
+        total_disp: sum_ordered(disp.iter().copied()),
+        max_disp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Rect;
+    use crp_netlist::{DesignBuilder, MacroCell};
+
+    fn rowful_design(rows: u32, sites: u32) -> (Design, Vec<CellId>) {
+        let mut b = DesignBuilder::new("abacus", 1000);
+        let inv = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 1));
+        let wide = b.add_macro(MacroCell::new("W4", 800, 2000).with_pin("A", 400, 1000, 1));
+        b.die(Rect::new(
+            Point::new(0, 0),
+            Point::new(i64::from(sites) * 200, i64::from(rows) * 2000),
+        ));
+        b.add_rows(rows, sites, Point::new(0, 0));
+        let mut cells = Vec::new();
+        for k in 0..10 {
+            let m = if k % 3 == 0 { wide } else { inv };
+            cells.push(b.add_cell(format!("u{k}"), m, Point::new(0, 0)));
+        }
+        (b.build(), cells)
+    }
+
+    #[test]
+    fn overlapping_targets_become_abutting_cells() {
+        let (mut d, cells) = rowful_design(4, 40);
+        // Everyone wants the same spot in row 1.
+        let targets: Vec<_> = cells.iter().map(|&c| (c, 4000.0, 3000.0)).collect();
+        let stats = legalize_abacus(&mut d, &targets).unwrap();
+        assert_eq!(stats.cells, 10);
+        assert!(crp_check::check_placement(&d).is_empty());
+    }
+
+    #[test]
+    fn blockage_splits_row_into_segments() {
+        let (mut d, cells) = rowful_design(2, 40);
+        d.blockages
+            .push(Rect::new(Point::new(3000, 0), Point::new(5000, 4000)));
+        let targets: Vec<_> = cells.iter().map(|&c| (c, 4000.0, 1000.0)).collect();
+        legalize_abacus(&mut d, &targets).unwrap();
+        assert!(crp_check::check_placement(&d).is_empty());
+        // Nothing may sit inside the blockage.
+        for &c in &cells {
+            let r = d.cell_rect(c);
+            assert!(r.hi.x <= 3000 || r.lo.x >= 5000, "cell in blockage: {r:?}");
+        }
+    }
+
+    #[test]
+    fn full_die_reports_no_space() {
+        let (mut d, cells) = rowful_design(1, 8);
+        // 10 cells of total width 22 sites into 8 sites of capacity.
+        let targets: Vec<_> = cells.iter().map(|&c| (c, 800.0, 1000.0)).collect();
+        assert!(matches!(
+            legalize_abacus(&mut d, &targets),
+            Err(GpError::NoSpace(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_cells_are_obstacles_and_untouched() {
+        let (mut d, cells) = rowful_design(2, 40);
+        d.move_cell(cells[0], Point::new(2000, 0), crp_geom::Orientation::N);
+        d.set_fixed(cells[0], true);
+        let fixed_pos = d.cell(cells[0]).pos;
+        let targets: Vec<_> = cells[1..].iter().map(|&c| (c, 2200.0, 1000.0)).collect();
+        legalize_abacus(&mut d, &targets).unwrap();
+        assert_eq!(d.cell(cells[0]).pos, fixed_pos);
+        assert!(crp_check::check_placement(&d).is_empty());
+    }
+
+    #[test]
+    fn rejects_fixed_target_and_missing_rows() {
+        let (mut d, cells) = rowful_design(1, 40);
+        d.set_fixed(cells[0], true);
+        assert!(matches!(
+            legalize_abacus(&mut d, &[(cells[0], 0.0, 0.0)]),
+            Err(GpError::BadState(_))
+        ));
+    }
+}

@@ -1,0 +1,14 @@
+//! Legalization: from continuous global-placement targets to legal
+//! row/site positions.
+//!
+//! The one algorithm here is the Abacus-style row legalizer — a
+//! scalable alternative to the windowed ILP legalizer in `crp-core`,
+//! used for the *initial* legalization of a fresh global placement
+//! (thousands of cells at once, where per-window ILPs would be absurd).
+//! Multi-row cells are out of scope and reported as
+//! [`GpError::MixedHeight`](crate::GpError::MixedHeight) so callers can
+//! fall back to the ILP path.
+
+mod abacus;
+
+pub use abacus::{legalize_abacus, AbacusStats};

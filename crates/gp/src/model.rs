@@ -1,0 +1,192 @@
+//! The static placement model extracted from a [`Design`].
+//!
+//! Global placement optimizes continuous **cell centers**; everything
+//! the solver needs — footprints, connectivity, the die box — is frozen
+//! here once, in cell-id / net-id order, so the iteration loops index
+//! flat arrays and never touch the netlist again. Pins of movable cells
+//! are approximated at the cell center (the ePlace convention; pin
+//! offsets are noise at global-placement resolution), while pins of
+//! fixed cells and I/O pads keep their exact coordinates.
+
+use crp_netlist::{CellId, Design, PinOwner};
+
+/// One net terminal as the solver sees it.
+pub(crate) enum GpPin {
+    /// Pin of movable cell `movables[i]`, at that cell's center.
+    Mov(usize),
+    /// Immovable pin (fixed cell or I/O pad) at an exact position.
+    Fix(f64, f64),
+}
+
+/// A net kept for the wirelength objective: at least two pins, at least
+/// one of them movable.
+pub(crate) struct GpNet {
+    pub(crate) pins: Vec<GpPin>,
+}
+
+/// Frozen solver input: movable cells (ascending id), their geometry,
+/// and the reduced netlist.
+pub(crate) struct PlaceModel {
+    /// Movable cells, ascending id; `Mov(i)` indexes this list.
+    pub(crate) cells: Vec<CellId>,
+    /// Footprint width per movable, DBU.
+    pub(crate) w: Vec<f64>,
+    /// Footprint height per movable, DBU.
+    pub(crate) h: Vec<f64>,
+    /// Pin count per movable (preconditioner term).
+    pub(crate) pin_count: Vec<f64>,
+    /// Nets with a movable pin and degree >= 2.
+    pub(crate) nets: Vec<GpNet>,
+    /// Die box `(lo_x, lo_y, hi_x, hi_y)`, DBU.
+    pub(crate) die: (f64, f64, f64, f64),
+    /// Footprints of fixed cells, `(lo_x, lo_y, hi_x, hi_y)`, DBU.
+    pub(crate) fixed_rects: Vec<(f64, f64, f64, f64)>,
+}
+
+impl PlaceModel {
+    /// Extracts the model from `design`. Cell-id order throughout, so
+    /// the extraction itself is deterministic.
+    pub(crate) fn build(design: &Design) -> PlaceModel {
+        let n_cells = design.num_cells();
+        // cell index -> movable index, usize::MAX for fixed cells.
+        let mut mov_of = vec![usize::MAX; n_cells];
+        let mut cells = Vec::new();
+        let mut w = Vec::new();
+        let mut h = Vec::new();
+        let mut pin_count = Vec::new();
+        let mut fixed_rects = Vec::new();
+        for (id, cell) in design.cells() {
+            let mac = design.macro_of(id);
+            if cell.fixed {
+                let r = design.cell_rect(id);
+                fixed_rects.push((r.lo.x as f64, r.lo.y as f64, r.hi.x as f64, r.hi.y as f64));
+            } else {
+                mov_of[id.index()] = cells.len();
+                cells.push(id);
+                w.push(mac.width as f64);
+                h.push(mac.height as f64);
+                pin_count.push(cell.pins.len() as f64);
+            }
+        }
+        // Blockages repel density exactly like fixed cells do.
+        for b in &design.blockages {
+            fixed_rects.push((b.lo.x as f64, b.lo.y as f64, b.hi.x as f64, b.hi.y as f64));
+        }
+
+        let mut nets = Vec::new();
+        for (_, net) in design.nets() {
+            if net.pins.len() < 2 {
+                continue;
+            }
+            let mut pins = Vec::with_capacity(net.pins.len());
+            let mut any_mov = false;
+            for &pid in &net.pins {
+                match design.pin(pid).owner {
+                    PinOwner::Cell { cell, .. } if mov_of[cell.index()] != usize::MAX => {
+                        any_mov = true;
+                        pins.push(GpPin::Mov(mov_of[cell.index()]));
+                    }
+                    _ => {
+                        let p = design.pin_position(pid);
+                        pins.push(GpPin::Fix(p.x as f64, p.y as f64));
+                    }
+                }
+            }
+            if any_mov {
+                nets.push(GpNet { pins });
+            }
+        }
+
+        PlaceModel {
+            cells,
+            w,
+            h,
+            pin_count,
+            nets,
+            die: (
+                design.die.lo.x as f64,
+                design.die.lo.y as f64,
+                design.die.hi.x as f64,
+                design.die.hi.y as f64,
+            ),
+            fixed_rects,
+        }
+    }
+
+    /// Number of movable cells.
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Clamps center `x` so movable `i`'s footprint stays inside the die.
+    pub(crate) fn clamp_x(&self, i: usize, x: f64) -> f64 {
+        let half = self.w[i] * 0.5;
+        x.clamp(
+            self.die.0 + half,
+            (self.die.2 - half).max(self.die.0 + half),
+        )
+    }
+
+    /// Clamps center `y` so movable `i`'s footprint stays inside the die.
+    pub(crate) fn clamp_y(&self, i: usize, y: f64) -> f64 {
+        let half = self.h[i] * 0.5;
+        y.clamp(
+            self.die.1 + half,
+            (self.die.3 - half).max(self.die.1 + half),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::{Point, Rect};
+    use crp_netlist::{DesignBuilder, MacroCell};
+
+    fn tiny() -> Design {
+        let mut b = DesignBuilder::new("m", 1000);
+        let m = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 1));
+        b.die(Rect::new(Point::new(0, 0), Point::new(4000, 8000)));
+        b.add_rows(4, 20, Point::new(0, 0));
+        let c0 = b.add_cell("u0", m, Point::new(0, 0));
+        let c1 = b.add_cell("u1", m, Point::new(600, 2000));
+        let c2 = b.add_cell("u2", m, Point::new(1200, 4000));
+        b.fix_cell(c2);
+        let n = b.add_net("n0");
+        b.connect(n, c0, "A");
+        b.connect(n, c1, "A");
+        b.connect(n, c2, "A");
+        let lonely = b.add_net("n1");
+        b.connect(lonely, c0, "A");
+        b.build()
+    }
+
+    #[test]
+    fn movables_fixed_and_nets_partition() {
+        let d = tiny();
+        let m = PlaceModel::build(&d);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.w, vec![200.0, 200.0]);
+        // One fixed cell footprint, no blockages.
+        assert_eq!(m.fixed_rects.len(), 1);
+        // The single-pin net n1 is dropped.
+        assert_eq!(m.nets.len(), 1);
+        assert_eq!(m.nets[0].pins.len(), 3);
+        let fixed = m.nets[0]
+            .pins
+            .iter()
+            .filter(|p| matches!(p, GpPin::Fix(_, _)))
+            .count();
+        assert_eq!(fixed, 1);
+    }
+
+    #[test]
+    fn clamping_keeps_footprint_inside_die() {
+        let d = tiny();
+        let m = PlaceModel::build(&d);
+        assert_eq!(m.clamp_x(0, -500.0), 100.0);
+        assert_eq!(m.clamp_x(0, 1e9), 3900.0);
+        assert_eq!(m.clamp_y(0, -500.0), 1000.0);
+        assert_eq!(m.clamp_y(0, 1e9), 7000.0);
+    }
+}

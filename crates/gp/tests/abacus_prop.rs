@@ -1,0 +1,130 @@
+//! Property test for the Abacus legalizer: randomized cell widths, row
+//! grids, blockages, fixed cells, and (often overlapping, sometimes
+//! off-die) target positions must always legalize into a placement the
+//! `crp-check` oracle accepts — no overlaps, row- and site-aligned,
+//! inside the die, fixed cells untouched — or fail with the one error
+//! the contract allows, `NoSpace`.
+
+use crp_geom::{Point, Rect};
+use crp_gp::{legalize_abacus, GpError};
+use crp_netlist::{CellId, Design, DesignBuilder, MacroCell};
+use proptest::prelude::*;
+
+const SITE_W: i64 = 200;
+const ROW_H: i64 = 2000;
+
+/// Builds a design with `rows`×`sites` of row capacity and one cell per
+/// entry of `widths` (in sites). The first `n_fixed` cells are pinned at
+/// legal, disjoint sites in row 0.
+fn build_design(
+    rows: u32,
+    sites: u32,
+    widths: &[u8],
+    n_fixed: usize,
+    blockage: Option<(f64, f64)>,
+) -> (Design, Vec<CellId>) {
+    let mut b = DesignBuilder::new("abacus-prop", 1000);
+    let w1 = b.add_macro(MacroCell::new("W1", 200, 2000).with_pin("A", 50, 1000, 1));
+    let w2 = b.add_macro(MacroCell::new("W2", 400, 2000).with_pin("A", 100, 1000, 1));
+    let w3 = b.add_macro(MacroCell::new("W3", 600, 2000).with_pin("A", 300, 1000, 1));
+    let die_w = i64::from(sites) * SITE_W;
+    let die_h = i64::from(rows) * ROW_H;
+    b.die(Rect::new(Point::new(0, 0), Point::new(die_w, die_h)));
+    b.add_rows(rows, sites, Point::new(0, 0));
+    let mut cells = Vec::new();
+    for (k, &w) in widths.iter().enumerate() {
+        let m = match w {
+            1 => w1,
+            2 => w2,
+            _ => w3,
+        };
+        cells.push(b.add_cell(format!("u{k}"), m, Point::new(0, 0)));
+    }
+    let mut d = b.build();
+    if let Some((fx, fw)) = blockage {
+        let lo = ((die_w as f64) * fx) as i64;
+        let hi = (lo + ((die_w as f64) * fw) as i64).min(die_w);
+        if hi > lo {
+            d.blockages
+                .push(Rect::new(Point::new(lo, 0), Point::new(hi, die_h)));
+        }
+    }
+    // Fixed cells: disjoint slots on row 0, spaced 8 sites apart.
+    for (i, &c) in cells.iter().take(n_fixed).enumerate() {
+        d.move_cell(
+            c,
+            Point::new(i as i64 * 8 * SITE_W, 0),
+            crp_geom::Orientation::N,
+        );
+        d.set_fixed(c, true);
+    }
+    (d, cells)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn abacus_always_produces_oracle_clean_placements(
+        rows in 2u32..7,
+        sites in 24u32..64,
+        widths in prop::collection::vec(1u8..4, 1..22),
+        n_fixed in 0usize..3,
+        targets in prop::collection::vec((0.0f64..1.2, -0.1f64..1.1), 22..23),
+        // The blockage starts past 0.55 of the die width so it can never
+        // land on the fixed cells, which all sit below x = 2200 (two row-0
+        // slots 8 sites apart) while 0.55 × the narrowest die is 2640.
+        blockage in prop::option::of((0.55f64..0.8, 0.05f64..0.2)),
+    ) {
+        // Keep enough slack that NoSpace stays the exception, not the rule.
+        let total_sites: u32 = widths.iter().map(|&w| u32::from(w)).sum();
+        prop_assume!(n_fixed <= widths.len());
+        prop_assume!(total_sites + n_fixed as u32 * 8 <= rows * sites / 2);
+
+        let (mut d, cells) = build_design(rows, sites, &widths, n_fixed, blockage);
+        let die = d.die;
+        let fixed_pos: Vec<_> = cells
+            .iter()
+            .take(n_fixed)
+            .map(|&c| d.cell(c).pos)
+            .collect();
+        let movables: Vec<_> = cells[n_fixed..].to_vec();
+        let wants: Vec<_> = movables
+            .iter()
+            .zip(&targets)
+            .map(|(&c, &(xf, yf))| {
+                (c, xf * die.hi.x as f64, yf * die.hi.y as f64)
+            })
+            .collect();
+
+        match legalize_abacus(&mut d, &wants) {
+            Err(GpError::NoSpace(_)) => {
+                // Legal outcome for tight capacity; nothing to assert.
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Ok(stats) => {
+                prop_assert_eq!(stats.cells, movables.len());
+                // The oracle is the ground truth: overlaps, row fit,
+                // blockage clearance, die containment.
+                let violations = crp_check::check_placement(&d);
+                prop_assert!(violations.is_empty(), "oracle: {violations:?}");
+                // Site/row alignment, spelled out.
+                for &c in &movables {
+                    let pos = d.cell(c).pos;
+                    prop_assert_eq!(pos.x % SITE_W, 0, "off-site x {}", pos.x);
+                    prop_assert_eq!(pos.y % ROW_H, 0, "off-row y {}", pos.y);
+                    let r = d.cell_rect(c);
+                    prop_assert!(
+                        r.lo.x >= die.lo.x && r.hi.x <= die.hi.x
+                            && r.lo.y >= die.lo.y && r.hi.y <= die.hi.y,
+                        "outside die: {r:?}"
+                    );
+                }
+                // Fixed cells exactly where they were pinned.
+                for (&c, &pos) in cells.iter().take(n_fixed).zip(&fixed_pos) {
+                    prop_assert_eq!(d.cell(c).pos, pos);
+                }
+            }
+        }
+    }
+}

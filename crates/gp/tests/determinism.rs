@@ -1,0 +1,99 @@
+//! Flow-level determinism of the netlist-only front-end: the full
+//! GP + Abacus pipeline must be bit-identical across thread counts on
+//! every netlist-only workload profile, and a solver interrupted at an
+//! arbitrary iteration and resumed from its serialized state must land
+//! on exactly the trajectory of the uninterrupted run.
+
+use crp_gp::{place, GlobalPlacer, GpConfig};
+use crp_netlist::Design;
+use crp_workload::netlist_only_profiles;
+
+/// The netlist-only profiles scaled down to integration-test size
+/// (~150–330 cells) with placement stripped of meaning: `place()`
+/// ignores the generator's positions by contract.
+fn test_designs() -> Vec<(String, Design)> {
+    netlist_only_profiles()
+        .iter()
+        .map(|p| (p.name.clone(), p.scaled(60.0).generate()))
+        .collect()
+}
+
+fn positions(d: &Design) -> Vec<(i64, i64, crp_geom::Orientation)> {
+    d.cell_ids()
+        .map(|id| {
+            let c = d.cell(id);
+            (c.pos.x, c.pos.y, c.orient)
+        })
+        .collect()
+}
+
+#[test]
+fn place_is_bit_identical_across_thread_counts() {
+    for (name, base) in test_designs() {
+        let mut reference: Option<Vec<(i64, i64, crp_geom::Orientation)>> = None;
+        for threads in [1usize, 4, 8] {
+            let cfg = GpConfig {
+                iterations: 24,
+                threads,
+                ..GpConfig::default()
+            };
+            let mut d = base.clone();
+            let report = place(&mut d, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: place failed at {threads} threads: {e}"));
+            assert_eq!(report.iterations.len(), 24, "{name}");
+            let violations = crp_check::check_placement(&d);
+            assert!(
+                violations.is_empty(),
+                "{name} at {threads} threads: {violations:?}"
+            );
+            let got = positions(&d);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "{name}: placement diverged between 1 and {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_resumed_from_state_matches_uninterrupted_run() {
+    let (name, base) = test_designs().swap_remove(0);
+    let cfg = GpConfig {
+        iterations: 20,
+        threads: 2,
+        ..GpConfig::default()
+    };
+
+    // Uninterrupted run.
+    let mut straight = GlobalPlacer::new(&base, cfg.clone());
+    let straight_stats = straight.run();
+
+    // Interrupted at iteration 7, state round-tripped through a clone
+    // (standing in for the daemon's JSON codec, which is bit-exact by
+    // its own tests), resumed on a fresh design instance.
+    let mut first = GlobalPlacer::new(&base, cfg.clone());
+    let mut resumed_stats = Vec::new();
+    for _ in 0..7 {
+        resumed_stats.push(first.step());
+    }
+    let snapshot = first.state().clone();
+    drop(first);
+    let mut second = GlobalPlacer::resume(&base, cfg, snapshot)
+        .unwrap_or_else(|e| panic!("{name}: resume rejected its own state: {e}"));
+    while !second.done() {
+        resumed_stats.push(second.step());
+    }
+
+    assert_eq!(straight_stats, resumed_stats, "{name}: trajectory diverged");
+    let a = straight.positions();
+    let b = second.positions();
+    assert_eq!(a.len(), b.len());
+    for ((ca, xa, ya), (cb, xb, yb)) in a.iter().zip(&b) {
+        assert_eq!(ca, cb);
+        assert_eq!(xa.to_bits(), xb.to_bits(), "{name}: x diverged for {ca}");
+        assert_eq!(ya.to_bits(), yb.to_bits(), "{name}: y diverged for {ca}");
+    }
+}

@@ -22,6 +22,10 @@ pub const FLOW_PATHS: &[&str] = &[
     // The daemon replays checkpoints bit-identically; its scheduler and
     // checkpoint codecs are flow code in the same sense as the engine.
     "crates/serve/src",
+    // The global placer promises bit-identical output across thread
+    // counts and resumable GP-iteration checkpoints — the full flow
+    // determinism contract.
+    "crates/gp/src",
 ];
 
 /// Directory names that are never scanned.
@@ -102,5 +106,7 @@ mod tests {
         assert!(!scope_of("crates/lefdef/src/def.rs").flow);
         assert!(scope_of("crates/lefdef/src/lib.rs").crate_root);
         assert!(!scope_of("crates/bench/src/flows.rs").flow);
+        assert!(scope_of("crates/gp/src/placer.rs").flow);
+        assert!(scope_of("crates/gp/src/legalize/abacus.rs").flow);
     }
 }

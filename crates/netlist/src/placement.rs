@@ -1,0 +1,107 @@
+//! A placement decoupled from the design it was computed on.
+//!
+//! [`Placement`] is the handoff type between placement producers (the
+//! `crp-gp` front-end, a checkpoint reader, a DEF) and consumers (the
+//! routing/CR&P flow): just the movable cells' `(position, orientation)`
+//! assignment, in cell-id order, with no reference to the [`Design`]
+//! it came from. Capturing and applying across two design instances
+//! built from the same netlist is exact; applying to a different
+//! netlist is rejected.
+
+use crate::design::Design;
+use crate::ids::CellId;
+use crp_geom::{Orientation, Point};
+
+/// The movable cells' placement, detached from a [`Design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `(cell, position, orientation)` per movable cell, ascending id.
+    pub cells: Vec<(CellId, Point, Orientation)>,
+}
+
+impl Placement {
+    /// Snapshots the positions of every movable cell of `design`.
+    #[must_use]
+    pub fn capture(design: &Design) -> Placement {
+        let cells = design
+            .cells()
+            .filter(|(_, c)| !c.fixed)
+            .map(|(id, c)| (id, c.pos, c.orient))
+            .collect();
+        Placement { cells }
+    }
+
+    /// Applies the snapshot onto `design`, moving each recorded cell.
+    ///
+    /// Fails (without touching the design) if any recorded cell does not
+    /// exist in `design` or is fixed there — the two designs are then
+    /// not instances of the same netlist.
+    pub fn apply(&self, design: &mut Design) -> Result<(), String> {
+        for &(id, _, _) in &self.cells {
+            if id.index() >= design.num_cells() {
+                return Err(format!("placement names unknown cell {id}"));
+            }
+            if design.cell(id).fixed {
+                return Err(format!("placement moves fixed cell {id}"));
+            }
+        }
+        for &(id, pos, orient) in &self.cells {
+            design.move_cell(id, pos, orient);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, MacroCell};
+    use crp_geom::Rect;
+
+    fn pair() -> (Design, Design) {
+        let build = || {
+            let mut b = DesignBuilder::new("p", 1000);
+            let inv = b.add_macro(MacroCell::new("INV", 200, 2000).with_pin("A", 50, 1000, 1));
+            b.die(Rect::new(Point::new(0, 0), Point::new(4000, 4000)));
+            b.add_rows(2, 20, Point::new(0, 0));
+            let c0 = b.add_cell("u0", inv, Point::new(0, 0));
+            let _ = b.add_cell("u1", inv, Point::new(600, 2000));
+            let c2 = b.add_cell("uf", inv, Point::new(1000, 0));
+            b.fix_cell(c2);
+            let _ = c0;
+            b.build()
+        };
+        (build(), build())
+    }
+
+    #[test]
+    fn roundtrips_across_design_instances() {
+        let (mut a, mut b) = pair();
+        let ids: Vec<_> = a.cell_ids().collect();
+        a.move_cell(ids[0], Point::new(2000, 2000), Orientation::FS);
+        let snap = Placement::capture(&a);
+        assert_eq!(snap.cells.len(), 2);
+        snap.apply(&mut b).unwrap();
+        for id in b.cell_ids() {
+            assert_eq!(a.cell(id).pos, b.cell(id).pos);
+            assert_eq!(a.cell(id).orient, b.cell(id).orient);
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_and_fixed_cells() {
+        let (a, mut b) = pair();
+        let mut snap = Placement::capture(&a);
+        let fixed_id = b.cell_ids().nth(2).unwrap();
+        snap.cells
+            .push((fixed_id, Point::new(0, 0), Orientation::N));
+        let before = b.cell(fixed_id).pos;
+        assert!(snap.apply(&mut b).is_err());
+        assert_eq!(b.cell(fixed_id).pos, before);
+
+        let mut far = Placement::capture(&a);
+        far.cells
+            .push((CellId::from_index(99), Point::new(0, 0), Orientation::N));
+        assert!(far.apply(&mut b).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //!   submit [--tenant NAME] [--profile NAME] [--scale F] [--lef LEF --def DEF]
 //!          [--iterations N] [--threads N] [--priority high|normal]
 //!          [--checkpoint-every N] [--seed N]
+//!   place  <same flags as submit> [--gp-iterations N] [--gp-bins N]
 //!   status [ID]
 //!   watch ID [--from N]
 //!   fetch ID [--out DIR]
@@ -46,7 +47,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{v}");
             Ok(())
         }
-        "submit" => submit(&mut client, rest),
+        "submit" => submit(&mut client, rest, false),
+        // A netlist-only cold start: the daemon strips the placement and
+        // runs the crp-gp electrostatic placer + Abacus legalizer before
+        // CR&P. Defaults to the `gp_fanout` profile.
+        "place" => submit(&mut client, rest, true),
         "status" => {
             let mut req = verb("status");
             if let Some(id) = rest.first() {
@@ -95,7 +100,7 @@ fn with_id(v: Json, id: &str) -> Result<Json, String> {
     }
 }
 
-fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
+fn submit(client: &mut Client, rest: &[String], place: bool) -> Result<(), String> {
     let mut profile: Option<String> = None;
     let mut scale = 100.0_f64;
     let mut lef: Option<String> = None;
@@ -145,6 +150,18 @@ fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
                 overrides.push(("seed".to_string(), Json::Int(i128::from(n))));
             }
+            "--gp-iterations" if place => {
+                let n: i128 = value("--gp-iterations")?
+                    .parse()
+                    .map_err(|e| format!("bad --gp-iterations: {e}"))?;
+                spec_fields.push(("gp_iterations".to_string(), Json::Int(n)));
+            }
+            "--gp-bins" if place => {
+                let n: i128 = value("--gp-bins")?
+                    .parse()
+                    .map_err(|e| format!("bad --gp-bins: {e}"))?;
+                spec_fields.push(("gp_bins".to_string(), Json::Int(n)));
+            }
             other => return Err(format!("unknown submit flag `{other}`")),
         }
     }
@@ -158,7 +175,10 @@ fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
             Json::obj(vec![("lef", Json::str(&lef)), ("def", Json::str(&def))])
         }
         (None, None, None) => Json::obj(vec![
-            ("profile", Json::str("ispd18_test1")),
+            (
+                "profile",
+                Json::str(if place { "gp_fanout" } else { "ispd18_test1" }),
+            ),
             ("scale", Json::Float(scale)),
         ]),
         _ => return Err("use either --profile or both --lef and --def".to_string()),
@@ -173,9 +193,12 @@ fn submit(client: &mut Client, rest: &[String]) -> Result<(), String> {
         fields.push(("overrides".to_string(), Json::Obj(overrides)));
     }
     let req = Json::Obj(
-        std::iter::once(("verb".to_string(), Json::str("submit")))
-            .chain(std::iter::once(("spec".to_string(), Json::Obj(fields))))
-            .collect(),
+        std::iter::once((
+            "verb".to_string(),
+            Json::str(if place { "place" } else { "submit" }),
+        ))
+        .chain(std::iter::once(("spec".to_string(), Json::Obj(fields))))
+        .collect(),
     );
     let v = client.call(&req).map_err(|e| e.msg)?;
     println!("{v}");

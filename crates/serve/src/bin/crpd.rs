@@ -20,6 +20,14 @@
 //! clients at once (default 512), multiplexed over `--conn-workers`
 //! socket threads (default 2).
 //!
+//! Job types: the `submit` verb runs CR&P on the workload's own
+//! placement; the `place` verb (or `submit` with `"mode":"place"`) is a
+//! netlist-only cold start — the placement is stripped and rebuilt by
+//! the `crp-gp` electrostatic placer + Abacus legalizer before CR&P
+//! refines it. Place jobs checkpoint the GP phase at GP-iteration
+//! boundaries (`gp_checkpoint.json`) with the same cadence and resume
+//! bit-identically, exactly like CR&P iterations.
+//!
 //! On startup the daemon recovers every unfinished job found under
 //! `--data-dir` (resuming from checkpoints), binds the address (port 0
 //! picks an ephemeral port), prints `crpd listening on <addr>` on

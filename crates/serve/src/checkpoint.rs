@@ -24,6 +24,7 @@ use crate::error::ServeError;
 use crate::json::{parse, Json};
 use crp_core::{Crp, CrpConfig, FlowState, IterationReport, StageTimers};
 use crp_geom::{Orientation, Point};
+use crp_gp::GpState;
 use crp_grid::{GridConfig, RouteGrid};
 use crp_netlist::{CellId, Design};
 use crp_router::{NetRoute, RouteSeg, Routing, ViaStack};
@@ -350,6 +351,92 @@ impl Checkpoint {
     }
 }
 
+/// Serializes a GP-phase optimizer snapshot — the `place` job's
+/// GP-iteration checkpoint payload. `Json::Float` prints the shortest
+/// decimal that round-trips, so every f64 in the solver vectors survives
+/// bit-exactly and a resumed placer continues bit-identically.
+// crp-lint: checkpoint(GpState, gp_state_to_json, gp_state_from_json)
+#[must_use]
+pub fn gp_state_to_json(s: &GpState) -> Json {
+    fn floats(v: &[f64]) -> Json {
+        Json::Arr(v.iter().map(|&x| Json::Float(x)).collect())
+    }
+    Json::obj(vec![
+        ("version", Json::Int(VERSION)),
+        ("iter", Json::Int(s.iter as i128)),
+        ("lambda", Json::Float(s.lambda)),
+        ("ak", Json::Float(s.ak)),
+        ("eta", Json::Float(s.eta)),
+        ("u_x", floats(&s.u_x)),
+        ("u_y", floats(&s.u_y)),
+        ("v_x", floats(&s.v_x)),
+        ("v_y", floats(&s.v_y)),
+        ("v_prev_x", floats(&s.v_prev_x)),
+        ("v_prev_y", floats(&s.v_prev_y)),
+        ("g_prev_x", floats(&s.g_prev_x)),
+        ("g_prev_y", floats(&s.g_prev_y)),
+        ("rng_seed", Json::Int(i128::from(s.rng_seed))),
+        ("rng_draws", Json::Int(i128::from(s.rng_draws))),
+    ])
+}
+
+/// Parses a GP-phase optimizer snapshot.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] on version mismatch or any missing or
+/// mistyped field. Semantic validation (vector lengths against the
+/// design, scalar ranges) is `GlobalPlacer::resume`'s job.
+pub fn gp_state_from_json(v: &Json) -> Result<GpState, ServeError> {
+    if v.get("version").and_then(Json::as_i64) != Some(1) {
+        return Err(ServeError::new("unsupported gp checkpoint version"));
+    }
+    Ok(GpState {
+        iter: req_usize(v, "iter")?,
+        lambda: req_f64(v, "lambda")?,
+        ak: req_f64(v, "ak")?,
+        eta: req_f64(v, "eta")?,
+        u_x: f64_list(v, "u_x")?,
+        u_y: f64_list(v, "u_y")?,
+        v_x: f64_list(v, "v_x")?,
+        v_y: f64_list(v, "v_y")?,
+        v_prev_x: f64_list(v, "v_prev_x")?,
+        v_prev_y: f64_list(v, "v_prev_y")?,
+        g_prev_x: f64_list(v, "g_prev_x")?,
+        g_prev_y: f64_list(v, "g_prev_y")?,
+        rng_seed: req_u64(v, "rng_seed")?,
+        rng_draws: req_u64(v, "rng_draws")?,
+    })
+}
+
+/// Writes a GP snapshot atomically (same tmp + rename discipline as
+/// [`Checkpoint::save`]).
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] on I/O failure.
+pub fn save_gp_state(state: &GpState, path: &Path) -> Result<(), ServeError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, gp_state_to_json(state).to_string())?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a GP snapshot from `path`; `Ok(None)` when the file does not
+/// exist.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] on I/O failure or a malformed file.
+pub fn load_gp_state(path: &Path) -> Result<Option<GpState>, ServeError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(Some(gp_state_from_json(&parse(&text)?)?))
+}
+
 /// Serializes an [`IterationReport`].
 // crp-lint: checkpoint(IterationReport, report_to_json, report_from_json)
 #[must_use]
@@ -460,6 +547,16 @@ fn int_row<const N: usize>(v: &Json, what: &str) -> Result<[i128; N], ServeError
     Ok(out)
 }
 
+fn f64_list(v: &Json, key: &str) -> Result<Vec<f64>, ServeError> {
+    req_arr(v, key)?
+        .iter()
+        .map(|j| {
+            j.as_f64()
+                .ok_or_else(|| ServeError::new(format!("`{key}` entries must be numbers")))
+        })
+        .collect()
+}
+
 fn cell_list(v: &Json, key: &str) -> Result<Vec<CellId>, ServeError> {
     req_arr(v, key)?
         .iter()
@@ -563,5 +660,53 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let bad = parse("{\"version\":2}").unwrap();
         assert!(Checkpoint::from_json(&bad).is_err());
+        assert!(gp_state_from_json(&bad).is_err());
+    }
+
+    /// Deliberately awkward values: non-terminating binary fractions,
+    /// subnormal-adjacent magnitudes, huge magnitudes. All must come back
+    /// with the exact same bits.
+    fn nasty_gp_state() -> GpState {
+        GpState {
+            iter: 5,
+            lambda: 0.1 + 0.2,
+            ak: (1.0 + 5f64.sqrt()) / 2.0,
+            eta: 1e-300,
+            u_x: vec![1.0 / 3.0, 6.02e23, -7.25],
+            u_y: vec![2.0 / 7.0, 1e-17, 9_999_999.000_000_1],
+            v_x: vec![0.0, -1.5, 1.0 + f64::EPSILON],
+            v_y: vec![3.25, 1e300, -1e-12],
+            v_prev_x: vec![0.125, 0.1, 0.3],
+            v_prev_y: vec![-0.7, 2e-8, 4.0],
+            g_prev_x: vec![1e-13, -3e5, 0.0],
+            g_prev_y: vec![8.0, -0.001, 123.456],
+            rng_seed: u64::MAX,
+            rng_draws: 48,
+        }
+    }
+
+    #[test]
+    fn gp_state_roundtrips_bit_exactly() {
+        let state = nasty_gp_state();
+        let json = gp_state_to_json(&state).to_string();
+        let back = gp_state_from_json(&parse(&json).unwrap()).unwrap();
+        assert_eq!(back, state);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.u_x), bits(&state.u_x));
+        assert_eq!(bits(&back.g_prev_x), bits(&state.g_prev_x));
+        assert_eq!(back.lambda.to_bits(), state.lambda.to_bits());
+        assert_eq!(back.eta.to_bits(), state.eta.to_bits());
+    }
+
+    #[test]
+    fn gp_state_save_load_and_missing_is_none() {
+        let dir = std::env::temp_dir().join(format!("crp-serve-gpckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gp_checkpoint.json");
+        assert!(load_gp_state(&path).unwrap().is_none());
+        let state = nasty_gp_state();
+        save_gp_state(&state, &path).unwrap();
+        assert_eq!(load_gp_state(&path).unwrap().unwrap(), state);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

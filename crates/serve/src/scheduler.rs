@@ -418,7 +418,16 @@ impl Scheduler {
             .map(str::to_string);
         let ckpt = crate::checkpoint::Checkpoint::load(&dir.join(crate::driver::CHECKPOINT_FILE))
             .unwrap_or(None);
-        let iterations_done = ckpt.as_ref().map_or(0, |c| c.iterations_done);
+        // Progress counts over the combined (GP + CR&P) range: a CR&P
+        // checkpoint implies the GP phase finished, so its iteration
+        // count is offset by the GP phase; with only a GP snapshot the
+        // solver's own iteration counter is the progress.
+        let iterations_done = match &ckpt {
+            Some(c) => spec.gp_phase_iterations() + c.iterations_done,
+            None => crate::checkpoint::load_gp_state(&dir.join(crate::driver::GP_CHECKPOINT_FILE))
+                .unwrap_or(None)
+                .map_or(0, |s| s.iter),
+        };
 
         let mut st = lock_state(&self.inner);
         st.next_id = st.next_id.max(id + 1);
@@ -515,7 +524,7 @@ impl Scheduler {
             state: rec.state,
             priority: rec.spec.priority,
             iterations_done: rec.iterations_done,
-            iterations_total: rec.spec.iterations,
+            iterations_total: rec.spec.total_iterations(),
             granted_threads: rec.granted,
             error: rec.error.clone(),
             last_event: rec.events.last().cloned(),

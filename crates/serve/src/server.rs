@@ -32,7 +32,7 @@ use crate::error::ServeError;
 use crate::json::{parse, Json};
 use crate::metrics::ServerMetrics;
 use crate::scheduler::Scheduler;
-use crate::spec::{JobSpec, JobState};
+use crate::spec::{JobMode, JobSpec, JobState};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -525,6 +525,28 @@ fn handle_request(
                 Err(e) => push_line(out, &err(&e.msg)),
             }
             metrics.record("submit", ok_resp, elapsed_us(started));
+            Action::Continue
+        }
+        "place" => {
+            // `submit` with the pipeline forced to the netlist-only cold
+            // start: GP spreading + Abacus legalization before CR&P. The
+            // same job is reachable through `submit` with
+            // `"mode":"place"`; this verb is the spelled-out entry point
+            // and wins over whatever `mode` the spec carries.
+            let response = req
+                .get("spec")
+                .ok_or_else(|| ServeError::new("place needs a `spec` object"))
+                .and_then(JobSpec::from_json)
+                .and_then(|mut spec| {
+                    spec.mode = JobMode::Place;
+                    scheduler.submit(spec)
+                });
+            let ok_resp = response.is_ok();
+            match response {
+                Ok(id) => push_line(out, &ok(vec![("id", Json::Int(i128::from(id)))])),
+                Err(e) => push_line(out, &err(&e.msg)),
+            }
+            metrics.record("place", ok_resp, elapsed_us(started));
             Action::Continue
         }
         "status" => {

@@ -55,6 +55,39 @@ impl Lane {
     }
 }
 
+/// What pipeline a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobMode {
+    /// CR&P refinement of the workload's own placement (the default).
+    Crp,
+    /// Netlist-only cold start: strip the placement, run the `crp-gp`
+    /// electrostatic placer and Abacus legalization, then route and
+    /// refine with CR&P. Checkpointable at both the GP-iteration and the
+    /// CR&P-iteration level.
+    Place,
+}
+
+impl JobMode {
+    /// The wire name of the mode.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobMode::Crp => "crp",
+            JobMode::Place => "place",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<JobMode> {
+        match s {
+            "crp" => Some(JobMode::Crp),
+            "place" => Some(JobMode::Place),
+            _ => None,
+        }
+    }
+}
+
 /// Everything a `submit` request carries: the workload, the iteration
 /// count, scheduling knobs, and [`CrpConfig`] overrides.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +105,15 @@ pub struct JobSpec {
     /// Scheduling lane.
     pub priority: Lane,
     /// Iterations between checkpoints (0 disables checkpointing).
+    /// In [`JobMode::Place`] the same cadence also checkpoints the GP
+    /// phase at its own iteration boundaries.
     pub checkpoint_every: usize,
+    /// Which pipeline to run.
+    pub mode: JobMode,
+    /// Global-placement iterations ([`JobMode::Place`] only).
+    pub gp_iterations: usize,
+    /// Density-grid bins per axis, 0 = auto ([`JobMode::Place`] only).
+    pub gp_bins: usize,
     /// The flow configuration after applying the request's overrides.
     /// `config.threads` is overwritten by the scheduler with the granted
     /// budget at dispatch time.
@@ -91,7 +132,33 @@ impl Default for JobSpec {
             threads: 1,
             priority: Lane::Normal,
             checkpoint_every: 1,
+            mode: JobMode::Crp,
+            gp_iterations: 64,
+            gp_bins: 0,
             config: CrpConfig::default(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Total progress units of the job: GP iterations (place mode) plus
+    /// CR&P iterations. Watch events and `status` progress counters run
+    /// over this combined range.
+    #[must_use]
+    pub fn total_iterations(&self) -> usize {
+        match self.mode {
+            JobMode::Crp => self.iterations,
+            JobMode::Place => self.gp_iterations + self.iterations,
+        }
+    }
+
+    /// GP iterations contributed to [`total_iterations`]
+    /// (`Self::total_iterations`): 0 in CR&P mode.
+    #[must_use]
+    pub fn gp_phase_iterations(&self) -> usize {
+        match self.mode {
+            JobMode::Crp => 0,
+            JobMode::Place => self.gp_iterations,
         }
     }
 }
@@ -151,6 +218,9 @@ impl JobSpec {
             ("threads", Json::Int(self.threads as i128)),
             ("priority", Json::str(self.priority.as_str())),
             ("checkpoint_every", Json::Int(self.checkpoint_every as i128)),
+            ("mode", Json::str(self.mode.as_str())),
+            ("gp_iterations", Json::Int(self.gp_iterations as i128)),
+            ("gp_bins", Json::Int(self.gp_bins as i128)),
             ("overrides", overrides),
         ])
     }
@@ -229,6 +299,22 @@ impl JobSpec {
             .get("checkpoint_every")
             .and_then(Json::as_usize)
             .unwrap_or(1);
+        let mode = match v.get("mode").and_then(Json::as_str) {
+            None => JobMode::Crp,
+            Some(s) => JobMode::from_name(s)
+                .ok_or_else(|| ServeError::new("`mode` must be \"crp\" or \"place\""))?,
+        };
+        let gp_iterations = v
+            .get("gp_iterations")
+            .and_then(Json::as_usize)
+            .unwrap_or(64);
+        if gp_iterations == 0 || gp_iterations > 10_000 {
+            return Err(ServeError::new("`gp_iterations` must be in 1..=10000"));
+        }
+        let gp_bins = v.get("gp_bins").and_then(Json::as_usize).unwrap_or(0);
+        if gp_bins > 4_096 {
+            return Err(ServeError::new("`gp_bins` must be at most 4096"));
+        }
 
         let mut config = CrpConfig::default();
         if let Some(o) = v.get("overrides") {
@@ -305,6 +391,9 @@ impl JobSpec {
             threads,
             priority,
             checkpoint_every,
+            mode,
+            gp_iterations,
+            gp_bins,
             config,
         })
     }
@@ -392,9 +481,31 @@ mod tests {
         spec.config.ilp_node_limit = 7;
         spec.priority = Lane::High;
         spec.threads = 3;
+        spec.mode = JobMode::Place;
+        spec.gp_iterations = 17;
+        spec.gp_bins = 24;
         let json = spec.to_json().to_string();
         let back = JobSpec::from_json(&parse(&json).unwrap()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn mode_defaults_to_crp_and_sets_totals() {
+        let back = JobSpec::from_json(
+            &parse("{\"workload\":{\"profile\":\"x\"},\"iterations\":3}").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.mode, JobMode::Crp);
+        assert_eq!(back.total_iterations(), 3);
+        assert_eq!(back.gp_phase_iterations(), 0);
+        let place = JobSpec {
+            mode: JobMode::Place,
+            gp_iterations: 5,
+            iterations: 3,
+            ..JobSpec::default()
+        };
+        assert_eq!(place.total_iterations(), 8);
+        assert_eq!(place.gp_phase_iterations(), 5);
     }
 
     #[test]
@@ -463,6 +574,18 @@ mod tests {
             (
                 "{\"tenant\":7,\"workload\":{\"profile\":\"x\"},\"iterations\":1}",
                 "tenant",
+            ),
+            (
+                "{\"workload\":{\"profile\":\"x\"},\"iterations\":1,\"mode\":\"route\"}",
+                "mode",
+            ),
+            (
+                "{\"workload\":{\"profile\":\"x\"},\"iterations\":1,\"gp_iterations\":0}",
+                "gp_iterations",
+            ),
+            (
+                "{\"workload\":{\"profile\":\"x\"},\"iterations\":1,\"gp_bins\":5000}",
+                "gp_bins",
             ),
         ];
         for (src, needle) in cases {

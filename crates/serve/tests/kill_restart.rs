@@ -3,7 +3,7 @@
 //! produce final results bit-identical to an uninterrupted run.
 
 use crp_serve::json::Json;
-use crp_serve::spec::{JobSpec, Workload};
+use crp_serve::spec::{JobMode, JobSpec, Workload};
 use crp_serve::Client;
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
@@ -51,6 +51,131 @@ fn job_spec() -> JobSpec {
         checkpoint_every: 1,
         ..JobSpec::default()
     }
+}
+
+/// A `place` job whose GP phase dominates the wall clock: thousands of
+/// cheap solver iterations make a kill shortly after submission land
+/// inside the GP phase with certainty, so the restart exercises the
+/// GP-iteration checkpoint, not the CR&P one.
+fn place_job_spec() -> JobSpec {
+    JobSpec {
+        workload: Workload::Profile {
+            name: "gp_fanout".to_string(),
+            scale: 20.0,
+        },
+        iterations: 2,
+        checkpoint_every: 1,
+        mode: JobMode::Place,
+        gp_iterations: 3000,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn sigkill_mid_gp_phase_resumes_place_job_bit_identically() {
+    let data_dir = std::env::temp_dir().join(format!("crp-kill-gp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    // Uninterrupted reference, computed in-process with the same spec.
+    let ref_dir = data_dir.join("reference");
+    std::fs::create_dir_all(&ref_dir).unwrap();
+    let no = AtomicBool::new(false);
+    crp_serve::run_job(&place_job_spec(), &ref_dir, 1, &no, &no, &mut |_| {}).unwrap();
+    let ref_def = std::fs::read_to_string(ref_dir.join("result.def")).unwrap();
+    let ref_guide = std::fs::read_to_string(ref_dir.join("result.guide")).unwrap();
+
+    // Daemon #1: submit (mode rides inside the spec), wait for two GP
+    // events, SIGKILL mid-phase.
+    let daemon_dir = data_dir.join("daemon");
+    let mut d1 = start_daemon(&daemon_dir);
+    let id = {
+        let mut c = Client::connect(&d1.addr).unwrap();
+        let v = c
+            .call(&Json::obj(vec![
+                ("verb", Json::str("submit")),
+                ("spec", place_job_spec().to_json()),
+            ]))
+            .unwrap();
+        v.get("id").and_then(Json::as_u64).unwrap()
+    };
+    {
+        let mut c = Client::connect(&d1.addr).unwrap();
+        c.send(&Json::obj(vec![
+            ("verb", Json::str("watch")),
+            ("id", Json::Int(i128::from(id))),
+        ]))
+        .unwrap();
+        let mut seen = 0;
+        while seen < 2 {
+            let v = c.read_response().unwrap();
+            if v.get("event").is_some() {
+                seen += 1;
+            }
+            assert_ne!(
+                v.get("done").and_then(Json::as_bool),
+                Some(true),
+                "job finished before we could kill the daemon; raise gp_iterations"
+            );
+        }
+    }
+    d1.child.kill().expect("SIGKILL crpd");
+    let _ = d1.child.wait();
+
+    // The kill must have landed inside the GP phase: a GP snapshot on
+    // disk, no CR&P checkpoint yet. This is what the restart resumes.
+    let job_dir = daemon_dir.join("jobs").join(id.to_string());
+    assert!(
+        job_dir.join("gp_checkpoint.json").exists(),
+        "expected a GP-iteration checkpoint at kill time"
+    );
+    assert!(
+        !job_dir.join("checkpoint.json").exists(),
+        "kill landed after the GP phase; raise gp_iterations so it lands inside"
+    );
+
+    // Daemon #2 over the same data dir: recover, resume from the GP
+    // snapshot, finish both phases.
+    let d2 = start_daemon(&daemon_dir);
+    let mut c = Client::connect(&d2.addr).unwrap();
+    c.send(&Json::obj(vec![
+        ("verb", Json::str("watch")),
+        ("id", Json::Int(i128::from(id))),
+    ]))
+    .unwrap();
+    loop {
+        let v = c.read_response().unwrap();
+        if v.get("done").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(v.get("state").and_then(Json::as_str), Some("done"));
+            break;
+        }
+    }
+    let v = c
+        .call(&Json::obj(vec![
+            ("verb", Json::str("fetch")),
+            ("id", Json::Int(i128::from(id))),
+        ]))
+        .unwrap();
+    let def = v.get("def").and_then(Json::as_str).unwrap();
+    let guide = v.get("guide").and_then(Json::as_str).unwrap();
+    assert_eq!(
+        def, ref_def,
+        "post-crash place-job DEF diverged from uninterrupted run"
+    );
+    assert_eq!(
+        guide, ref_guide,
+        "post-crash place-job guides diverged from uninterrupted run"
+    );
+
+    let v = c
+        .call(&Json::obj(vec![("verb", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(v.get("drained").and_then(Json::as_bool), Some(true));
+    let mut d2 = d2;
+    let status = d2.child.wait().expect("crpd exit status");
+    assert!(status.success(), "crpd exited with {status}");
+
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 #[test]

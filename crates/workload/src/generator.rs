@@ -259,6 +259,17 @@ pub fn generate(profile: &Profile) -> Design {
     for net_idx in 0..profile.nets {
         let net = b.add_net(format!("n{net_idx}"));
         let degree = pick_degree(&mut rng);
+        // High-fanout override. The fraction check short-circuits before
+        // any draw, so profiles with the knob at 0.0 (all ISPD analogues)
+        // consume the exact RNG stream they did before the knob existed
+        // and keep generating byte-identical designs.
+        let degree = if profile.high_fanout_net_fraction > 0.0
+            && rng.gen_bool(profile.high_fanout_net_fraction)
+        {
+            rng.gen_range(16..41)
+        } else {
+            degree
+        };
         let hot = rng.gen_bool(profile.hotspot_net_fraction);
         let (root, radius) = if hot {
             let c = hotspot_centers[rng.gen_range(0..hotspot_centers.len())];

@@ -32,5 +32,5 @@ mod profiles;
 mod refine;
 
 pub use generator::generate;
-pub use profiles::{ispd18_profiles, NetlistStyle, Profile};
+pub use profiles::{ispd18_profiles, netlist_only_profiles, NetlistStyle, Profile};
 pub use refine::refine_placement;

@@ -35,6 +35,13 @@ pub struct Profile {
     pub hotspots: usize,
     /// Fraction of nets with one far (die-spanning) terminal.
     pub far_net_fraction: f64,
+    /// Fraction of nets widened to high fanout (16–40 pins) — the
+    /// netlist-only GP scenario axis. At `0.0` (the default, and every
+    /// ISPD profile) the generator draws nothing for this knob, so the
+    /// RNG stream and the generated designs are byte-identical to
+    /// before the knob existed.
+    #[serde(default)]
+    pub high_fanout_net_fraction: f64,
     /// Fraction of nets with an I/O pad on the die boundary.
     pub io_net_fraction: f64,
     /// Number of placement/routing blockage rectangles.
@@ -97,6 +104,7 @@ pub fn ispd18_profiles() -> Vec<Profile> {
         hotspot_net_fraction,
         hotspots,
         far_net_fraction: 0.06,
+        high_fanout_net_fraction: 0.0,
         io_net_fraction: 0.02,
         blockages,
         seed,
@@ -114,6 +122,47 @@ pub fn ispd18_profiles() -> Vec<Profile> {
         p("ispd18_test8", 192_000, 179_000, 0.78, 0.22, 4, 2, 8),
         p("ispd18_test9", 192_000, 178_000, 0.78, 0.22, 4, 2, 9),
         p("ispd18_test10", 290_000, 182_000, 0.82, 0.26, 5, 3, 10),
+    ]
+}
+
+/// Netlist-only scenario profiles for the `crp-gp` front-end.
+///
+/// These stress the *netlist*, not the generated placement — the global
+/// placer strips the placement and cold-starts from connectivity alone.
+/// The axes are high-fanout nets (clock/reset-like trees the WA
+/// gradient must spread) and macro blockages (density obstacles the
+/// field must route charge around). Mixed-height rows are deliberately
+/// not generated: the Abacus legalizer is single-row-height and such
+/// designs are deferred to the windowed ILP legalizer.
+#[must_use]
+pub fn netlist_only_profiles() -> Vec<Profile> {
+    let p = |name: &str,
+             cells: usize,
+             nets: usize,
+             utilization: f64,
+             hotspots: usize,
+             blockages: usize,
+             high_fanout_net_fraction: f64,
+             seed: u64| Profile {
+        name: name.to_owned(),
+        cells,
+        nets,
+        utilization,
+        hotspot_net_fraction: 0.08,
+        hotspots,
+        far_net_fraction: 0.06,
+        high_fanout_net_fraction,
+        io_net_fraction: 0.02,
+        blockages,
+        seed,
+        // No placement refinement: the placement is thrown away.
+        refine_passes: 0,
+        netlist_style: NetlistStyle::default(),
+    };
+    vec![
+        p("gp_fanout", 9_000, 8_000, 0.60, 1, 0, 0.05, 21),
+        p("gp_blocks", 12_000, 11_000, 0.68, 2, 4, 0.02, 22),
+        p("gp_mixed", 20_000, 18_000, 0.72, 3, 2, 0.04, 23),
     ]
 }
 
@@ -163,5 +212,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_divisor_panics() {
         let _ = ispd18_profiles()[0].scaled(0.0);
+    }
+
+    #[test]
+    fn netlist_only_profiles_have_the_gp_axes() {
+        let ps = netlist_only_profiles();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| p.high_fanout_net_fraction > 0.0));
+        assert!(ps.iter().any(|p| p.blockages > 0));
+        // Every ISPD analogue keeps the knob off (stream preservation).
+        assert!(ispd18_profiles()
+            .iter()
+            .all(|p| p.high_fanout_net_fraction == 0.0));
+    }
+
+    #[test]
+    fn high_fanout_knob_generates_wide_nets() {
+        let d = netlist_only_profiles()[0].scaled(20.0).generate();
+        assert!(crp_netlist::check_legality(&d).is_empty());
+        let max_degree = d.net_ids().map(|n| d.net(n).pins.len()).max().unwrap_or(0);
+        assert!(max_degree >= 16, "max degree {max_degree}");
     }
 }

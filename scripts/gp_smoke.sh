@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Release-binary smoke test of the netlist-only cold start: start crpd,
+# submit a `place` job via `crp-cli place` (crp-gp electrostatic GP +
+# Abacus legalization, then CR&P), watch the combined GP+CR&P iteration
+# stream to completion, fetch the results, and shut down cleanly.
+set -euo pipefail
+
+CRPD="${CRPD:-target/release/crpd}"
+CLI="${CLI:-target/release/crp-cli}"
+DATA_DIR="$(mktemp -d)"
+OUT_DIR="$(mktemp -d)"
+trap 'kill "$CRPD_PID" 2>/dev/null || true; rm -rf "$DATA_DIR" "$OUT_DIR"' EXIT
+
+"$CRPD" --addr 127.0.0.1:0 --data-dir "$DATA_DIR" --threads 2 \
+  > "$DATA_DIR/crpd.out" &
+CRPD_PID=$!
+
+# The first stdout line is `crpd listening on <addr>`.
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^crpd listening on //p' "$DATA_DIR/crpd.out" | head -n1)"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "crpd never printed its address" >&2; exit 1; }
+echo "daemon at $ADDR"
+
+"$CLI" --addr "$ADDR" ping
+
+# Netlist-only cold start on the high-fanout profile: 24 GP iterations,
+# then 2 CR&P iterations — 26 combined watch events.
+SUBMIT="$("$CLI" --addr "$ADDR" place \
+  --profile gp_fanout --scale 200 --iterations 2 \
+  --gp-iterations 24 --seed 7)"
+echo "$SUBMIT"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "no job id in place response" >&2; exit 1; }
+
+WATCH="$("$CLI" --addr "$ADDR" watch "$JOB_ID")"
+printf '%s\n' "$WATCH" | tail -n 2
+# GP events carry the density overflow in their timers; their presence
+# proves the job really ran the GP phase before CR&P.
+printf '%s' "$WATCH" | grep -q 'gp_overflow' \
+  || { echo "no GP events in watch stream" >&2; exit 1; }
+printf '%s' "$WATCH" | grep -c '"event"' | grep -qx 26 \
+  || { echo "expected 26 combined GP+CR&P events" >&2; exit 1; }
+"$CLI" --addr "$ADDR" status "$JOB_ID" | grep -q '"state":"done"'
+
+"$CLI" --addr "$ADDR" fetch "$JOB_ID" --out "$OUT_DIR"
+test -s "$OUT_DIR/job-$JOB_ID.def"
+test -s "$OUT_DIR/job-$JOB_ID.guide"
+grep -q "^VERSION" "$OUT_DIR/job-$JOB_ID.def"
+
+"$CLI" --addr "$ADDR" shutdown
+wait "$CRPD_PID"
+echo "gp smoke test passed"

@@ -4,8 +4,9 @@
 //! cannot be fetched. This crate implements the pieces the workspace's
 //! property tests call: the [`proptest!`] macro over functions with
 //! `name in strategy` bindings, `prop_assert!`/`prop_assert_eq!`,
-//! [`ProptestConfig::with_cases`], range/tuple strategies, and
-//! [`collection::vec`].
+//! `prop_assume!`, [`ProptestConfig::with_cases`], range/tuple
+//! strategies (integers and `f64`), [`collection::vec`], and
+//! [`option::of`].
 //!
 //! Differences from crates.io proptest: cases are drawn from a
 //! deterministic per-test generator (seeded from the test name), and a
@@ -80,7 +81,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
@@ -128,10 +129,58 @@ pub mod collection {
     }
 }
 
+/// Option strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option`s: `None` half the time, `Some` drawn from
+    /// the inner strategy otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// An `Option` that is `Some(inner)` with probability one half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The `prop::` path tests written against crates.io proptest use.
+pub mod prop {
+    pub use crate::{collection, option};
+}
+
 /// Everything a property test needs in scope.
 pub mod prelude {
-    pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{collection, option, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Skips the current case when its precondition does not hold. Unlike
+/// crates.io proptest this does not draw a replacement case, so heavy
+/// use thins coverage — keep assumptions rare.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __assume_holds: bool = $cond;
+        if !__assume_holds {
+            return;
+        }
+    };
 }
 
 /// Asserts a condition inside a property; reports the failing message.
@@ -206,6 +255,18 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 7);
             for &(a, b, c) in &v {
                 prop_assert!(a < 13 && b < 13 && c < 3);
+            }
+        }
+
+        #[test]
+        fn floats_options_and_assumptions(
+            x in 0.25f64..4.0,
+            maybe in prop::option::of(0i64..10),
+        ) {
+            prop_assume!(x < 3.5);
+            prop_assert!((0.25..3.5).contains(&x));
+            if let Some(v) = maybe {
+                prop_assert!((0..10).contains(&v));
             }
         }
     }
